@@ -1,0 +1,249 @@
+(* Benchmark harness: regenerates the paper's Table I and Table II and the
+   ablations of §V, plus a Bechamel micro-benchmark suite of the kernel
+   primitives.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- table1  -- the Figure-2 scaling table
+     dune exec bench/main.exe -- table2  -- the IWLS'91-like suite
+     dune exec bench/main.exe -- cuts    -- cut-independence ablation
+     dune exec bench/main.exe -- levels  -- RT vs bit level ablation
+     dune exec bench/main.exe -- micro   -- kernel primitive latencies
+
+   Environment: BENCH_DEADLINE (seconds per engine run, default 5),
+   BENCH_MAX_N (largest Figure-2 bitwidth, default 64). *)
+
+let deadline =
+  try float_of_string (Sys.getenv "BENCH_DEADLINE") with Not_found -> 5.0
+
+let max_n = try int_of_string (Sys.getenv "BENCH_MAX_N") with Not_found -> 64
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let fmt_time ok t = if ok then Printf.sprintf "%8.2f" t else "       -"
+
+let engine_cell result t =
+  match result with
+  | Engines.Common.Equivalent -> fmt_time true t
+  | Engines.Common.Not_equivalent w -> Printf.sprintf "  BUG(%s)" w
+  | Engines.Common.Inconclusive _ | Engines.Common.Timeout -> fmt_time false t
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Printf.printf
+    "\nTable I: scalable example of Figure 2 (times in seconds; '-' = not \
+     within %.0fs)\n"
+    deadline;
+  Printf.printf "%4s %9s %6s %9s %9s %9s\n" "n" "flipflops" "gates" "SIS"
+    "SMV" "HASH";
+  let ns =
+    List.filter
+      (fun n -> n <= max_n)
+      [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64; 96; 128 ]
+  in
+  List.iter
+    (fun n ->
+      let rt = Fig2.rt n in
+      let g = Fig2.gate n in
+      let gcut = Cut.maximal g in
+      let retimed_g = Forward.retime g gcut in
+      let sis_r, sis_t =
+        time (fun () ->
+            Engines.Sis_fsm.equiv
+              (Engines.Common.budget_of_seconds deadline)
+              g retimed_g)
+      in
+      let smv_r, smv_t =
+        time (fun () ->
+            Engines.Smv.equiv
+              (Engines.Common.budget_of_seconds deadline)
+              g retimed_g)
+      in
+      let _step, hash_t =
+        time (fun () ->
+            Hash.Synthesis.retime Hash.Embed.Rt_level rt (Cut.maximal rt))
+      in
+      Printf.printf "%4d %9d %6d %s %s %s\n" n (Circuit.flipflop_count g)
+        (Circuit.gate_count g) (engine_cell sis_r sis_t)
+        (engine_cell smv_r smv_t) (fmt_time true hash_t);
+      flush stdout)
+    ns
+
+(* ------------------------------------------------------------------ *)
+(* Table II                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  Printf.printf
+    "\nTable II: IWLS'91-like benchmark suite (times in seconds; '-' = not \
+     within %.0fs)\n"
+    deadline;
+  Printf.printf "%-8s %9s %6s %9s %9s %9s %9s\n" "name" "flipflops" "gates"
+    "Eijk" "Eijk*" "SIS" "HASH";
+  List.iter
+    (fun (e : Iwls.entry) ->
+      let c = Lazy.force e.Iwls.circuit in
+      let cut = Cut.maximal c in
+      let retimed = Forward.retime c cut in
+      let eijk_r, eijk_t =
+        time (fun () ->
+            Engines.Eijk.equiv
+              (Engines.Common.budget_of_seconds deadline)
+              c retimed)
+      in
+      let eijks_r, eijks_t =
+        time (fun () ->
+            Engines.Eijk.equiv_star
+              (Engines.Common.budget_of_seconds deadline)
+              c retimed)
+      in
+      let sis_r, sis_t =
+        time (fun () ->
+            Engines.Sis_fsm.equiv
+              (Engines.Common.budget_of_seconds deadline)
+              c retimed)
+      in
+      let _step, hash_t =
+        time (fun () -> Hash.Synthesis.retime Hash.Embed.Bit_level c cut)
+      in
+      Printf.printf "%-8s %9d %6d %s %s %s %s\n" e.Iwls.name
+        (Circuit.flipflop_count c) (Circuit.gate_count c)
+        (engine_cell eijk_r eijk_t) (engine_cell eijks_r eijks_t)
+        (engine_cell sis_r sis_t) (fmt_time true hash_t);
+      flush stdout)
+    Iwls.suite
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: HASH time vs cut size                                     *)
+(* ------------------------------------------------------------------ *)
+
+let cuts () =
+  Printf.printf
+    "\nAblation: HASH time vs cut size (Figure-2, n = 16, gate level)\n";
+  Printf.printf "%10s %10s\n" "f-gates" "HASH(s)";
+  let c = Fig2.gate 16 in
+  List.iter
+    (fun cut ->
+      let _step, t =
+        time (fun () -> Hash.Synthesis.retime Hash.Embed.Bit_level c cut)
+      in
+      Printf.printf "%10d %10.3f\n" (List.length cut.Cut.f_gates) t;
+      flush stdout)
+    (Cut.prefixes c 6)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: RT level vs bit level                                     *)
+(* ------------------------------------------------------------------ *)
+
+let levels () =
+  Printf.printf
+    "\nAblation: RT-level vs bit-level embedding (Figure-2; per-phase \
+     seconds)\n";
+  Printf.printf "%4s %6s %10s %10s %10s\n" "n" "level" "steps1-3" "step4"
+    "total";
+  List.iter
+    (fun n ->
+      let run level c =
+        let step, t =
+          time (fun () -> Hash.Synthesis.retime level c (Cut.maximal c))
+        in
+        let tg = step.Hash.Synthesis.timings in
+        let s13 =
+          tg.Hash.Synthesis.t_split +. tg.Hash.Synthesis.t_apply
+          +. tg.Hash.Synthesis.t_join
+        in
+        (s13, tg.Hash.Synthesis.t_init, t)
+      in
+      let s13, s4, t = run Hash.Embed.Rt_level (Fig2.rt n) in
+      Printf.printf "%4d %6s %10.4f %10.4f %10.4f\n" n "RT" s13 s4 t;
+      let s13, s4, t = run Hash.Embed.Bit_level (Fig2.gate n) in
+      Printf.printf "%4d %6s %10.4f %10.4f %10.4f\n" n "bit" s13 s4 t;
+      flush stdout)
+    [ 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let open Logic in
+  Printf.printf "\nKernel primitive micro-benchmarks (Bechamel)\n";
+  let c = Fig2.rt 8 in
+  let e = Hash.Embed.embed Hash.Embed.Rt_level c in
+  let step = Hash.Synthesis.retime Hash.Embed.Rt_level c (Cut.maximal c) in
+  let th = step.Hash.Synthesis.theorem in
+  let refl_lhs = Kernel.refl step.Hash.Synthesis.lhs_term in
+  let tests =
+    Test.make_grouped ~name:"kernel"
+      [
+        Test.make ~name:"trans-compose"
+          (Staged.stage (fun () -> ignore (Kernel.trans th (Drule.sym th))));
+        Test.make ~name:"refl-large-term"
+          (Staged.stage (fun () -> ignore (Kernel.refl e.Hash.Embed.fd)));
+        Test.make ~name:"trans-refl"
+          (Staged.stage (fun () -> ignore (Kernel.trans refl_lhs refl_lhs)));
+        Test.make ~name:"inst-retiming-thm"
+          (Staged.stage (fun () ->
+               ignore
+                 (Kernel.inst_type
+                    [ ("a", Ty.bool) ]
+                    Automata.Retiming_thm.retiming_thm)));
+        Test.make ~name:"bv-inc-32-eval"
+          (Staged.stage (fun () ->
+               ignore
+                 (Automata.Words.word_eval_conv
+                    (Term.mk_comb Automata.Words.bv_inc_tm
+                       (Automata.Words.mk_bv
+                          (List.init 32 (fun i -> i mod 2 = 0)))))));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        tbl)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match what with
+  | "table1" -> table1 ()
+  | "table2" -> table2 ()
+  | "cuts" -> cuts ()
+  | "levels" -> levels ()
+  | "micro" -> micro ()
+  | "all" ->
+      table1 ();
+      table2 ();
+      cuts ();
+      levels ();
+      micro ()
+  | other ->
+      Printf.eprintf
+        "unknown bench '%s' (expected table1|table2|cuts|levels|micro|all)\n"
+        other;
+      exit 2);
+  Printf.printf "\nkernel rule applications performed: %d\n"
+    (Logic.Kernel.rule_count ())

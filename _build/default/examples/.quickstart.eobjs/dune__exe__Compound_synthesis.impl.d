@@ -1,0 +1,1 @@
+examples/compound_synthesis.ml: Automata Circuit Cut Format Hash Kernel List Logic Printf String

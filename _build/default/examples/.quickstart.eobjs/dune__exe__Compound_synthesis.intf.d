@@ -1,0 +1,1 @@
+examples/compound_synthesis.mli:

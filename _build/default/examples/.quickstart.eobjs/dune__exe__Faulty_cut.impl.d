@@ -1,0 +1,1 @@
+examples/faulty_cut.ml: Cut Fig2 Format Hash List Logic

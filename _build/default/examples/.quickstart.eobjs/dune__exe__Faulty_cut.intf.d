@@ -1,0 +1,1 @@
+examples/faulty_cut.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Automata Circuit Cut Fig2 Format Hash Kernel List Logic String

@@ -1,0 +1,1 @@
+examples/state_encoding.ml: Automata Circuit Cut Format Hash Iwls Kernel List Logic Term

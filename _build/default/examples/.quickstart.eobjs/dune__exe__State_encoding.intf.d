@@ -1,0 +1,1 @@
+examples/state_encoding.mli:

@@ -1,0 +1,1 @@
+examples/verification_race.ml: Cut Engines Fig2 Forward Hash List Printf Unix

@@ -1,0 +1,25 @@
+(* The paper's §IV.C scenario (Figure 4): a faulty heuristic hands the
+   synthesis step an impossible cut — f = {=, MUX}, g = {+1}.  The
+   transformation FAILS (an exception); it can never produce an incorrect
+   theorem, because theorems only arise from kernel rules.
+
+     dune exec examples/faulty_cut.exe *)
+
+let () =
+  let circuit = Fig2.rt 4 in
+  let bad_gates = Fig2.false_cut_gates circuit in
+  Format.printf
+    "Trying the false cut of Figure 4 (f = comparator + multiplexer)...@.";
+  (match
+     Hash.Synthesis.retime_gates Hash.Embed.Rt_level circuit bad_gates
+   with
+  | _ -> Format.printf "UNEXPECTED: the transformation accepted the cut@."
+  | exception Hash.Errors.Cut_mismatch msg ->
+      Format.printf "rejected, as the paper requires:@.  %s@." msg);
+  (* the decision on how to cut does not violate correctness: a correct
+     cut on the same circuit still goes through *)
+  let step = Hash.Synthesis.retime Hash.Embed.Rt_level circuit
+      (Cut.maximal circuit) in
+  Format.printf
+    "@.The correct cut still works; theorem hypotheses: %d (closed proof)@."
+    (List.length (Logic.Kernel.hyp step.Hash.Synthesis.theorem))

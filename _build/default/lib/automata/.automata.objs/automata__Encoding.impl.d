@@ -1,0 +1,1 @@
+lib/automata/encoding.ml: Boolean Conv Drule Kernel Logic Pairs Term Theory Ty

@@ -1,0 +1,1 @@
+lib/automata/encoding.mli: Kernel Logic

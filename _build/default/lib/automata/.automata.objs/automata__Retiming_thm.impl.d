@@ -1,0 +1,1 @@
+lib/automata/retiming_thm.ml: Boolean Conv Drule Kernel Logic Pairs Term Theory Ty

@@ -1,0 +1,1 @@
+lib/automata/retiming_thm.mli: Kernel Logic

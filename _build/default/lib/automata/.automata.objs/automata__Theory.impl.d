@@ -1,0 +1,1 @@
+lib/automata/theory.ml: Boolean Conv Drule Kernel Logic Pairs Term Ty

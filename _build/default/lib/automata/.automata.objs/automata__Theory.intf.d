@@ -1,0 +1,1 @@
+lib/automata/theory.mli: Conv Kernel Logic Term Ty

@@ -1,0 +1,1 @@
+lib/automata/words.ml: Boolean Conv Kernel List Logic Pairs Term Ty

@@ -1,0 +1,1 @@
+lib/automata/words.mli: Conv Kernel Logic Term Ty

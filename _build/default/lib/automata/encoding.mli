@@ -1,0 +1,22 @@
+(** The state-encoding theorem (paper §VI: HASH "also provides various
+    other synthesis related transformations on synchronous circuits such
+    as state encoding"), derived through the kernel like {!Retiming_thm}.
+
+    {v
+    (!s. dec (enc s) = s)
+    |- automaton fd q
+       = automaton (\i x. (FST (fd i (dec x)), enc (SND (fd i (dec x)))))
+                   (enc q)
+    v}
+
+    with [enc : 'b -> 'd] the new encoding of the state and [dec] a left
+    inverse on the states actually used.  The proof is the same induction
+    over time as the retiming theorem, with invariant
+    [state fd2 (enc q) inp t = enc (state fd q inp t)]. *)
+
+open Logic
+
+val encode_thm : Kernel.thm
+(** The sequent above; free variables [fd], [enc], [dec], [q] at
+    polymorphic types (input [:a], state [:b], output [:c], encoded state
+    [:d]); exactly one hypothesis. *)

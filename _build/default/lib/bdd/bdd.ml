@@ -1,0 +1,213 @@
+type t = int
+(* 0 and 1 are the terminal nodes. *)
+
+type manager = {
+  mutable var_arr : int array;
+  mutable low_arr : int array;
+  mutable high_arr : int array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  exists_cache : (int, int) Hashtbl.t;  (* keyed per call; cleared *)
+  compose_cache : (int, int) Hashtbl.t;  (* keyed per call; cleared *)
+}
+
+let terminal_var = max_int
+
+let manager () =
+  let n = 1024 in
+  let m =
+    {
+      var_arr = Array.make n terminal_var;
+      low_arr = Array.make n (-1);
+      high_arr = Array.make n (-1);
+      next = 2;
+      unique = Hashtbl.create 4096;
+      ite_cache = Hashtbl.create 4096;
+      exists_cache = Hashtbl.create 256;
+      compose_cache = Hashtbl.create 256;
+    }
+  in
+  m
+
+let zero _ = 0
+let one _ = 1
+let is_zero _ f = f = 0
+let is_one _ f = f = 1
+let equal (a : t) (b : t) = a = b
+
+let grow m =
+  let n = Array.length m.var_arr in
+  let n' = 2 * n in
+  let extend a fill =
+    let a' = Array.make n' fill in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  m.var_arr <- extend m.var_arr terminal_var;
+  m.low_arr <- extend m.low_arr (-1);
+  m.high_arr <- extend m.high_arr (-1)
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some id -> id
+    | None ->
+        if m.next >= Array.length m.var_arr then grow m;
+        let id = m.next in
+        m.next <- id + 1;
+        m.var_arr.(id) <- v;
+        m.low_arr.(id) <- lo;
+        m.high_arr.(id) <- hi;
+        Hashtbl.replace m.unique (v, lo, hi) id;
+        id
+
+let var m i = mk m i 0 1
+let nvar m i = mk m i 1 0
+
+let var_of m f = if f < 2 then terminal_var else m.var_arr.(f)
+
+let cofactors m f v =
+  if f < 2 || m.var_arr.(f) <> v then (f, f)
+  else (m.low_arr.(f), m.high_arr.(f))
+
+let rec ite m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let v =
+          min (var_of m f) (min (var_of m g) (var_of m h))
+        in
+        let f0, f1 = cofactors m f v in
+        let g0, g1 = cofactors m g v in
+        let h0, h1 = cofactors m h v in
+        let lo = ite m f0 g0 h0 in
+        let hi = ite m f1 g1 h1 in
+        let r = mk m v lo hi in
+        Hashtbl.replace m.ite_cache key r;
+        r
+
+let not_ m f = ite m f 0 1
+let and_ m f g = ite m f g 0
+let or_ m f g = ite m f 1 g
+let xor_ m f g = ite m f (not_ m g) g
+let xnor_ m f g = ite m f g (not_ m g)
+let imp m f g = ite m f g 1
+
+let restrict m f v b =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if f < 2 then f
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r -> r
+      | None ->
+          let r =
+            let fv = m.var_arr.(f) in
+            if fv > v then f
+            else if fv = v then
+              if b then m.high_arr.(f) else m.low_arr.(f)
+            else mk m fv (go m.low_arr.(f)) (go m.high_arr.(f))
+          in
+          Hashtbl.replace memo f r;
+          r
+  in
+  go f
+
+let exists m vars f =
+  let vset = List.sort_uniq compare vars in
+  let rec go f =
+    if f < 2 then f
+    else
+      match Hashtbl.find_opt m.exists_cache f with
+      | Some r -> r
+      | None ->
+          let v = m.var_arr.(f) in
+          let lo = m.low_arr.(f) and hi = m.high_arr.(f) in
+          let r =
+            if List.mem v vset then or_ m (go lo) (go hi)
+            else mk m v (go lo) (go hi)
+          in
+          Hashtbl.replace m.exists_cache f r;
+          r
+  in
+  Hashtbl.reset m.exists_cache;
+  go f
+
+let compose m f sigma =
+  let rec go f =
+    if f < 2 then f
+    else
+      match Hashtbl.find_opt m.compose_cache f with
+      | Some r -> r
+      | None ->
+          let v = m.var_arr.(f) in
+          let lo = go m.low_arr.(f) and hi = go m.high_arr.(f) in
+          let fv = match sigma v with Some g -> g | None -> mk m v 0 1 in
+          let r = ite m fv hi lo in
+          Hashtbl.replace m.compose_cache f r;
+          r
+  in
+  Hashtbl.reset m.compose_cache;
+  go f
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      Hashtbl.replace vars m.var_arr.(f) ();
+      go m.low_arr.(f);
+      go m.high_arr.(f)
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f acc =
+    if f < 2 || Hashtbl.mem seen f then acc
+    else begin
+      Hashtbl.replace seen f ();
+      go m.low_arr.(f) (go m.high_arr.(f) (acc + 1))
+    end
+  in
+  go f 0
+
+let node_count m = m.next
+
+let rec eval m f env =
+  if f = 0 then false
+  else if f = 1 then true
+  else if env m.var_arr.(f) then eval m m.high_arr.(f) env
+  else eval m m.low_arr.(f) env
+
+let any_sat m f =
+  if f = 0 then raise Not_found
+  else
+    let rec go f acc =
+      if f = 1 then List.rev acc
+      else if m.high_arr.(f) <> 0 then
+        go m.high_arr.(f) ((m.var_arr.(f), true) :: acc)
+      else go m.low_arr.(f) ((m.var_arr.(f), false) :: acc)
+    in
+    go f []
+
+let pp m ppf f =
+  let rec go ppf f =
+    if f = 0 then Format.pp_print_string ppf "0"
+    else if f = 1 then Format.pp_print_string ppf "1"
+    else
+      Format.fprintf ppf "(x%d ? %a : %a)" m.var_arr.(f) go m.high_arr.(f)
+        go m.low_arr.(f)
+  in
+  go ppf f

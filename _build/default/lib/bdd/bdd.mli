@@ -1,0 +1,69 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    All operations go through a manager, which owns the unique table and
+    the memoisation caches.  Node identifiers are stable for the lifetime
+    of the manager, and semantic equality of functions is identifier
+    equality — the property the symbolic model checker's fixed-point test
+    relies on.
+
+    Variables are identified by small non-negative integers; the variable
+    order is the natural integer order (callers choose a good order by
+    choosing the numbering, e.g. interleaving current- and next-state
+    bits). *)
+
+type manager
+type t
+(** A BDD node within some manager. *)
+
+val manager : unit -> manager
+
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> int -> t
+(** The function [fun env -> env.(i)]. *)
+
+val nvar : manager -> int -> t
+(** The negated variable. *)
+
+val ite : manager -> t -> t -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor_ : manager -> t -> t -> t
+val xnor_ : manager -> t -> t -> t
+val not_ : manager -> t -> t
+val imp : manager -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Semantic equality (constant time). *)
+
+val is_zero : manager -> t -> bool
+val is_one : manager -> t -> bool
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor with respect to a variable. *)
+
+val exists : manager -> int list -> t -> t
+(** Existential quantification over a set of variables. *)
+
+val compose : manager -> t -> (int -> t option) -> t
+(** [compose m f sigma] simultaneously substitutes [sigma i] (when
+    defined) for variable [i] in [f].  Used for functional image
+    computation and for van Eijk's dependency elimination. *)
+
+val support : manager -> t -> int list
+(** Variables the function depends on, ascending. *)
+
+val size : manager -> t -> int
+(** Number of distinct nodes reachable from this root (the paper's
+    "size of the BDDs"). *)
+
+val node_count : manager -> int
+(** Total nodes allocated in the manager (monotone). *)
+
+val eval : manager -> t -> (int -> bool) -> bool
+(** Evaluate under an assignment. *)
+
+val any_sat : manager -> t -> (int * bool) list
+(** One satisfying partial assignment.  @raise Not_found on [zero]. *)
+
+val pp : manager -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/circuits/fig2.ml: Array Bitblast Circuit Cut List Printf

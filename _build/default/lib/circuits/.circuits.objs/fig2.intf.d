@@ -1,0 +1,1 @@
+lib/circuits/fig2.mli: Circuit Cut

@@ -1,0 +1,1 @@
+lib/circuits/iwls.ml: Array Bitblast Circuit Lazy List Printf Random

@@ -1,0 +1,1 @@
+lib/circuits/iwls.mli: Circuit Lazy

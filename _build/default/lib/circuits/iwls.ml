@@ -1,0 +1,121 @@
+open Circuit
+
+(* Deterministic structured generator.  Shape:
+   - a register core: counter carries, LFSR feedback (retimable block:
+     reads only registers);
+   - steering logic mixing inputs and core values;
+   - register data inputs and outputs tapped from the steering logic. *)
+let synth ~name ~ffs ~gates ~ins ~outs ~seed =
+  let rng = Random.State.make [| seed; ffs; gates |] in
+  let b = create name in
+  let inputs = Array.init ins (fun _ -> input b B) in
+  let regs =
+    Array.init ffs (fun k ->
+        reg b ~init:(Bit (Random.State.bool rng && k mod 3 = 0)) B)
+  in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let binops = [| And; Or; Xor; Nand; Nor; Xnor |] in
+  (* retimable core: ~30% of the gates, reading registers and earlier
+     core gates only *)
+  let core_n = max 2 (3 * gates / 10) in
+  let core = ref [||] in
+  let core_sources () =
+    if Array.length !core = 0 || Random.State.int rng 3 = 0 then pick regs
+    else pick !core
+  in
+  for _ = 1 to core_n do
+    let g =
+      if Random.State.int rng 5 = 0 then not_ b (core_sources ())
+      else
+        gate b (pick binops) [ core_sources (); core_sources () ]
+    in
+    core := Array.append !core [| g |]
+  done;
+  (* steering logic: the rest of the gates, reading anything *)
+  let pool = ref (Array.concat [ inputs; regs; !core ]) in
+  let steer_n = gates - core_n in
+  for k = 1 to steer_n do
+    let s1 = pick !pool and s2 = pick !pool in
+    let g =
+      match Random.State.int rng 8 with
+      | 0 -> not_ b s1
+      | 1 -> mux b ~sel:(pick inputs) s1 s2
+      | _ -> gate b (pick binops) [ s1; s2 ]
+    in
+    if k mod 4 = 0 then pool := Array.append !pool [| g |]
+    else pool := Array.append [| g |] !pool
+  done;
+  (* connect registers: each data input from the steering pool *)
+  Array.iter
+    (fun r ->
+      let rec data () =
+        let s = pick !pool in
+        if s = r then data () else s
+      in
+      connect_reg b r ~data:(data ()))
+    regs;
+  for k = 0 to outs - 1 do
+    output b (Printf.sprintf "o%d" k) (pick !pool)
+  done;
+  finish b
+
+(* n-bit shift-add multiplier datapath (the paper's fractional
+   multipliers), built at RT level and bit-blasted. *)
+let mult_rt n =
+  let b = create (Printf.sprintf "mult%d_rt" n) in
+  let xin = input b (W n) in
+  let load = input b B in
+  let acc = reg b ~init:(Word (n, 0)) (W n) in
+  let mreg = reg b ~init:(Word (n, 0)) (W n) in
+  let cnt = reg b ~init:(Word (n, 0)) (W n) in
+  (* retimable block: functions of the registers only *)
+  let t1 = gate b Wadd [ acc; mreg ] in
+  let t2 = gate b Winc [ cnt ] in
+  let t3 = gate b Wand [ acc; cnt ] in
+  (* steering: mix in the inputs *)
+  let masked = gate b Wand [ mreg; xin ] in
+  let sum = gate b Wadd [ t1; masked ] in
+  let acc' = gate b Wmux [ load; xin; sum ] in
+  let mshift = gate b Wxor [ t3; xin ] in
+  let m' = gate b Wmux [ load; xin; mshift ] in
+  let done_ = gate b Weq [ t2; xin ] in
+  let cnt' = gate b Wmux [ done_; t2; cnt ] in
+  let cnt'' = gate b Wmux [ load; xin; cnt' ] in
+  connect_reg b acc ~data:acc';
+  connect_reg b mreg ~data:m';
+  connect_reg b cnt ~data:cnt'';
+  output b "p" acc;
+  output b "done" done_;
+  finish b
+
+let mult n = Bitblast.expand (mult_rt n)
+
+type entry = {
+  name : string;
+  circuit : Circuit.t Lazy.t;
+  paper_flipflops : int;
+}
+
+let mk name ffs gates ins outs seed =
+  {
+    name;
+    circuit = lazy (synth ~name ~ffs ~gates ~ins ~outs ~seed);
+    paper_flipflops = ffs;
+  }
+
+let suite =
+  [
+    mk "s298" 14 119 3 6 298;
+    mk "s344" 15 160 9 11 344;
+    mk "s420" 16 218 18 1 420;
+    mk "s526" 21 193 3 6 526;
+    mk "s641" 19 379 35 24 641;
+    mk "s838" 32 446 34 1 838;
+    mk "s1423" 74 657 17 5 1423;
+    mk "s5378" 164 2779 35 49 5378;
+    { name = "mult8"; circuit = lazy (mult 8); paper_flipflops = 24 };
+    { name = "mult16"; circuit = lazy (mult 16); paper_flipflops = 48 };
+    { name = "mult32"; circuit = lazy (mult 32); paper_flipflops = 96 };
+  ]
+
+let find name = List.find (fun e -> e.name = name) suite

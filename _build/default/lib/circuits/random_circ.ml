@@ -1,0 +1,92 @@
+open Circuit
+
+let generate ?(retimable = true) ?(words = false) ~seed ~max_gates () =
+  let rng = Random.State.make [| seed; max_gates; 77 |] in
+  let ri n = Random.State.int rng n in
+  let b = create (Printf.sprintf "rand_%d" seed) in
+  let wsize = 2 + ri 3 in
+  let n_in = 1 + ri 3 and n_reg = 1 + ri 4 in
+  let inputs =
+    Array.init n_in (fun _ ->
+        if words && ri 2 = 0 then input b (W wsize) else input b B)
+  in
+  let regs =
+    Array.init n_reg (fun _ ->
+        if words && ri 2 = 0 then
+          reg b ~init:(Word (wsize, ri (1 lsl wsize))) (W wsize)
+        else reg b ~init:(Bit (ri 2 = 0)) B)
+  in
+  let is_bit s = builder_width b s = B in
+  let bits = ref [] and wordsigs = ref [] in
+  let note s = if is_bit s then bits := s :: !bits else wordsigs := s :: !wordsigs in
+  Array.iter note inputs;
+  Array.iter note regs;
+  let pickl l = List.nth l (ri (List.length l)) in
+  let n_gates = 1 + ri max_gates in
+  (* retimable core first: reads registers only *)
+  let reg_bits = List.filter is_bit (Array.to_list regs) in
+  let reg_words =
+    List.filter (fun s -> not (is_bit s)) (Array.to_list regs)
+  in
+  if retimable then begin
+    (match reg_bits with
+    | s :: _ -> note (not_ b s)
+    | [] -> ());
+    match reg_words with
+    | s :: _ -> note (gate b Winc [ s ])
+    | [] -> ()
+  end;
+  for _ = 1 to n_gates do
+    let choice = ri 10 in
+    if choice < 6 || !wordsigs = [] then begin
+      (* bit gate *)
+      match !bits with
+      | [] -> ()
+      | l ->
+          let ops = [| And; Or; Xor; Nand; Nor; Xnor |] in
+          let g =
+            match ri 4 with
+            | 0 -> not_ b (pickl l)
+            | 1 when List.length l >= 3 ->
+                mux b ~sel:(pickl l) (pickl l) (pickl l)
+            | _ -> gate b ops.(ri (Array.length ops)) [ pickl l; pickl l ]
+          in
+          note g
+    end
+    else begin
+      match !wordsigs with
+      | [] -> ()
+      | l -> (
+          let x = pickl l and y = pickl l in
+          match ri 6 with
+          | 0 -> note (gate b Winc [ x ])
+          | 1 -> note (gate b Wadd [ x; y ])
+          | 2 -> note (gate b Weq [ x; y ])
+          | 3 when !bits <> [] ->
+              note (gate b Wmux [ pickl !bits; x; y ])
+          | 4 -> note (gate b Wnot [ x ])
+          | _ -> note (gate b Wxor [ x; y ]))
+    end
+  done;
+  (* connect registers to same-width signals *)
+  Array.iter
+    (fun r ->
+      let want_bit = is_bit r in
+      let cands =
+        List.filter (fun s -> s <> r) (if want_bit then !bits else !wordsigs)
+      in
+      let data = match cands with [] -> r | l -> pickl l in
+      (* fall back to a fresh constant if only self-loops are available *)
+      let data =
+        if data = r then
+          if want_bit then constb b false else gate b (Wconst (wsize, 0)) []
+        else data
+      in
+      connect_reg b r ~data)
+    regs;
+  let n_out = 1 + ri 2 in
+  for k = 0 to n_out - 1 do
+    let all = !bits @ !wordsigs in
+    output b (Printf.sprintf "o%d" k) (pickl all)
+  done;
+  finish b

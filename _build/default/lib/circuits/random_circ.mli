@@ -1,0 +1,10 @@
+(** Random well-formed sequential circuits for property-based testing.
+
+    Every generated circuit has at least one input, output and register,
+    an acyclic combinational part, and (when [retimable] is set) a
+    guaranteed non-empty maximal forward-retiming cut. *)
+
+val generate :
+  ?retimable:bool -> ?words:bool -> seed:int -> max_gates:int -> unit ->
+  Circuit.t
+(** [words] adds RT-level word signals (default false = pure bit level). *)

@@ -1,0 +1,1 @@
+lib/engines/common.ml: Array Bdd Circuit Format Unix

@@ -1,0 +1,1 @@
+lib/engines/common.mli: Bdd Circuit Format

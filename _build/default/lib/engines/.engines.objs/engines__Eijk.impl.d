@@ -1,0 +1,1 @@
+lib/engines/eijk.ml: Array Bdd Buffer Circuit Common Format Hashtbl List Random Sim String Symbolic

@@ -1,0 +1,1 @@
+lib/engines/eijk.mli: Circuit Common

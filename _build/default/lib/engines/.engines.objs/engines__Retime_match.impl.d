@@ -1,0 +1,1 @@
+lib/engines/retime_match.ml: Array Circuit Common Hashtbl List Option

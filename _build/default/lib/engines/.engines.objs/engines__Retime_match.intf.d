@@ -1,0 +1,1 @@
+lib/engines/retime_match.mli: Circuit Common

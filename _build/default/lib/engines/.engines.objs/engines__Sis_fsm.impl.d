@@ -1,0 +1,1 @@
+lib/engines/sis_fsm.ml: Array Bytes Char Circuit Common Hashtbl List Printf Queue

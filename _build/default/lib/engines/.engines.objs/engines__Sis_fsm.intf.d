@@ -1,0 +1,1 @@
+lib/engines/sis_fsm.mli: Circuit Common

@@ -1,0 +1,1 @@
+lib/engines/smv.ml: Array Bdd Common List Symbolic

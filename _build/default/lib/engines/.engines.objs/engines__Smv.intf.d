@@ -1,0 +1,1 @@
+lib/engines/smv.mli: Circuit Common

@@ -1,0 +1,1 @@
+lib/engines/symbolic.ml: Array Bdd Circuit List

@@ -1,0 +1,1 @@
+lib/engines/symbolic.mli: Bdd Circuit

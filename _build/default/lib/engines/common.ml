@@ -1,0 +1,37 @@
+type result =
+  | Equivalent
+  | Not_equivalent of string
+  | Inconclusive of string
+  | Timeout
+
+type budget = { deadline : float; max_bdd_nodes : int }
+
+let budget_of_seconds ?(max_bdd_nodes = 20_000_000) secs =
+  { deadline = Unix.gettimeofday () +. secs; max_bdd_nodes }
+
+let out_of_time b = Unix.gettimeofday () > b.deadline
+
+exception Out_of_budget
+
+let check b = if out_of_time b then raise Out_of_budget
+
+let check_nodes b m =
+  if Bdd.node_count m > b.max_bdd_nodes then raise Out_of_budget
+  else check b
+
+let pp_result ppf = function
+  | Equivalent -> Format.pp_print_string ppf "equivalent"
+  | Not_equivalent w -> Format.fprintf ppf "NOT equivalent (%s)" w
+  | Inconclusive w -> Format.fprintf ppf "inconclusive (%s)" w
+  | Timeout -> Format.pp_print_string ppf "timeout"
+
+let result_to_string r = Format.asprintf "%a" pp_result r
+
+let bit_inputs c =
+  Array.fold_left
+    (fun acc w -> acc + match w with Circuit.B -> 1 | Circuit.W n -> n)
+    0 c.Circuit.input_widths
+
+let same_interface a b =
+  bit_inputs a = bit_inputs b
+  && Array.length a.Circuit.outputs = Array.length b.Circuit.outputs

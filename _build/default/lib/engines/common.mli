@@ -1,0 +1,30 @@
+(** Shared result and budget types for the verification engines. *)
+
+type result =
+  | Equivalent
+  | Not_equivalent of string  (** human-readable witness description *)
+  | Inconclusive of string
+      (** the (incomplete) method could not decide — e.g. van Eijk's
+          correspondence found no matching for the outputs *)
+  | Timeout
+
+type budget = {
+  deadline : float;  (** absolute [Unix.gettimeofday] time *)
+  max_bdd_nodes : int;  (** abort when a manager exceeds this many nodes *)
+}
+
+val budget_of_seconds : ?max_bdd_nodes:int -> float -> budget
+val out_of_time : budget -> bool
+val pp_result : Format.formatter -> result -> unit
+val result_to_string : result -> string
+
+exception Out_of_budget
+
+val check : budget -> unit
+(** @raise Out_of_budget when the deadline has passed. *)
+
+val check_nodes : budget -> Bdd.manager -> unit
+(** @raise Out_of_budget when the manager is over the node limit. *)
+
+val same_interface : Circuit.t -> Circuit.t -> bool
+(** Same bit-level input and output counts (the engines' precondition). *)

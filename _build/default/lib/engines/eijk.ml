@@ -1,0 +1,326 @@
+open Circuit
+
+(* A member of a candidate class: (signal index in the product universe,
+   inverted?).  Universe indexing: A-signals are [0 .. nA-1], B-signals
+   [nA .. nA+nB-1]. *)
+type member = { u : int; inv : bool }
+
+(* Random simulation of the pair, collecting per-universe-signal value
+   traces as signature strings. *)
+let signatures rng cycles ca cb =
+  let na = n_signals ca and nb = n_signals cb in
+  let sigs = Array.make (na + nb) (Buffer.create 0) in
+  for u = 0 to na + nb - 1 do
+    sigs.(u) <- Buffer.create cycles
+  done;
+  let sta = ref (Sim.initial_state ca) and stb = ref (Sim.initial_state cb) in
+  for _ = 1 to cycles do
+    let inputs =
+      Array.map
+        (function
+          | B -> Bit (Random.State.bool rng)
+          | W _ -> failwith "Eijk: word input (bit-blast first)")
+        ca.input_widths
+    in
+    let va = Sim.eval_comb ca !sta inputs in
+    let vb = Sim.eval_comb cb !stb inputs in
+    let bit = function
+      | Bit b -> if b then '1' else '0'
+      | Word _ -> failwith "Eijk: word signal"
+    in
+    Array.iteri (fun s v -> Buffer.add_char sigs.(s) (bit v)) va;
+    Array.iteri (fun s v -> Buffer.add_char sigs.(na + s) (bit v)) vb;
+    sta := Array.map (fun r -> va.(r.data)) ca.registers;
+    stb := Array.map (fun r -> vb.(r.data)) cb.registers
+  done;
+  Array.map Buffer.contents sigs
+
+let complement_string s =
+  String.map (function '0' -> '1' | _ -> '0') s
+
+let equiv ?(debug = false) ?(exploit_dependencies = false) ?(sim_cycles = 96) budget ca cb =
+  if not (Common.same_interface ca cb) then failwith "Eijk: interface mismatch";
+  let m = Bdd.manager () in
+  try
+    let p = Symbolic.product ~check:(fun () -> Common.check_nodes budget m) m ca cb in
+    let k = p.Symbolic.n_regs in
+    let ka = Array.length ca.registers in
+    let na = n_signals ca and nb = n_signals cb in
+    (* ---- candidate classes from simulation (with polarity) ---- *)
+    let rng = Random.State.make [| 420792; na; nb |] in
+    let sigs = signatures rng sim_cycles ca cb in
+    let tbl : (string, member list ref) Hashtbl.t = Hashtbl.create 256 in
+    Array.iteri
+      (fun u s ->
+        let s' = complement_string s in
+        let canon, inv = if s <= s' then (s, false) else (s', true) in
+        match Hashtbl.find_opt tbl canon with
+        | Some l -> l := { u; inv } :: !l
+        | None -> Hashtbl.replace tbl canon (ref [ { u; inv } ]))
+      sigs;
+    let classes =
+      Hashtbl.fold
+        (fun _ l acc -> if List.length !l > 1 then !l :: acc else acc)
+        tbl []
+      |> ref
+    in
+    (* ---- register bookkeeping ---- *)
+    (* universe index of register r's output signal *)
+    let reg_u = Array.make k (-1) in
+    Array.iteri
+      (fun s d ->
+        match d with Reg_out r -> reg_u.(r) <- s | Input _ | Gate _ -> ())
+      ca.drivers;
+    Array.iteri
+      (fun s d ->
+        match d with
+        | Reg_out r -> reg_u.(ka + r) <- na + s
+        | Input _ | Gate _ -> ())
+      cb.drivers;
+    (* inverse: universe index -> register number *)
+    let u_reg = Hashtbl.create 64 in
+    Array.iteri (fun r u -> Hashtbl.replace u_reg u r) reg_u;
+    (* ---- optional: functional-dependency elimination (the starred variant) ---- *)
+    let dep_sigma : Bdd.t option array = Array.make k None in
+    if exploit_dependencies then begin
+      let changed = ref true in
+      while !changed do
+        Common.check_nodes budget m;
+        changed := false;
+        let subst v =
+          if v < 2 * k && v mod 2 = 0 then dep_sigma.(v / 2) else None
+        in
+        let nf = Array.map (fun f -> Bdd.compose m f subst) p.Symbolic.next_fn in
+        (* constants *)
+        for i = 0 to k - 1 do
+          if dep_sigma.(i) = None then begin
+            let c = if p.Symbolic.init.(i) then Bdd.one m else Bdd.zero m in
+            if Bdd.equal nf.(i) c then begin
+              dep_sigma.(i) <- Some c;
+              changed := true
+            end
+          end
+        done;
+        (* duplicates / complements *)
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            if dep_sigma.(j) = None && dep_sigma.(i) = None then begin
+              let vi = Bdd.var m (p.Symbolic.cur_var i) in
+              if
+                Bdd.equal nf.(i) nf.(j)
+                && p.Symbolic.init.(i) = p.Symbolic.init.(j)
+              then begin
+                dep_sigma.(j) <- Some vi;
+                changed := true
+              end
+              else if
+                Bdd.equal (Bdd.not_ m nf.(i)) nf.(j)
+                && p.Symbolic.init.(i) <> p.Symbolic.init.(j)
+              then begin
+                dep_sigma.(j) <- Some (Bdd.not_ m vi);
+                changed := true
+              end
+            end
+          done
+        done
+      done
+    end;
+    (* ---- refinement to an inductive fixpoint ---- *)
+    let inputs1 =
+      Array.init p.Symbolic.n_inputs (fun j -> Bdd.var m (p.Symbolic.inp_var j))
+    in
+    let inputs2 =
+      Array.init p.Symbolic.n_inputs (fun j ->
+          Bdd.var m (p.Symbolic.inp2_var j))
+    in
+    let norm bdd inv = if inv then Bdd.not_ m bdd else bdd in
+    (* Current-state BDDs of every signal, registers as their own
+       variables (after the optional dependency substitution). *)
+    let dep_subst v =
+      if v < 2 * k && v mod 2 = 0 then dep_sigma.(v / 2) else None
+    in
+    let apply_dep b =
+      if exploit_dependencies then Bdd.compose m b dep_subst else b
+    in
+    let plain_bdds =
+      let regs_a =
+        Array.init ka (fun i ->
+            apply_dep (Bdd.var m (p.Symbolic.cur_var i)))
+      in
+      let regs_b =
+        Array.init (k - ka) (fun i ->
+            apply_dep (Bdd.var m (p.Symbolic.cur_var (ka + i))))
+      in
+      let sa = Symbolic.compile_signals ~check:(fun () -> Common.check_nodes budget m) m ca ~inputs:inputs1 ~regs:regs_a in
+      let sb = Symbolic.compile_signals ~check:(fun () -> Common.check_nodes budget m) m cb ~inputs:inputs1 ~regs:regs_b in
+      Array.append sa sb
+    in
+    Common.check_nodes budget m;
+    let state_only u =
+      List.for_all (fun v -> v < 2 * k) (Bdd.support m plain_bdds.(u))
+    in
+    (* Next-cycle BDDs: register values one step later are their data
+       functions (over inputs1); combinational signals one step later are
+       recomputed over those and fresh inputs (inputs2). *)
+    let step_bdds =
+      let nf_a =
+        Array.init ka (fun i -> plain_bdds.(ca.registers.(i).data))
+      in
+      let nf_b =
+        Array.init (k - ka) (fun i ->
+            plain_bdds.(na + cb.registers.(i).data))
+      in
+      let sa = Symbolic.compile_signals ~check:(fun () -> Common.check_nodes budget m) m ca ~inputs:inputs2 ~regs:nf_a in
+      let sb = Symbolic.compile_signals ~check:(fun () -> Common.check_nodes budget m) m cb ~inputs:inputs2 ~regs:nf_b in
+      Array.append sa sb
+    in
+    Common.check_nodes budget m;
+    (* Base: signal BDDs in the initial state *)
+    let base_bdds =
+      let regs_a =
+        Array.init ka (fun i ->
+            if p.Symbolic.init.(i) then Bdd.one m else Bdd.zero m)
+      in
+      let regs_b =
+        Array.init (k - ka) (fun i ->
+            if p.Symbolic.init.(ka + i) then Bdd.one m else Bdd.zero m)
+      in
+      let sa = Symbolic.compile_signals ~check:(fun () -> Common.check_nodes budget m) m ca ~inputs:inputs1 ~regs:regs_a in
+      let sb = Symbolic.compile_signals ~check:(fun () -> Common.check_nodes budget m) m cb ~inputs:inputs1 ~regs:regs_b in
+      Array.append sa sb
+    in
+    Common.check_nodes budget m;
+    let split_exact key cls =
+      (* split every class by exact BDD identity of [key member] *)
+      let changed = ref false in
+      let out = ref [] in
+      List.iter
+        (fun members ->
+          let h : (Bdd.t, member list ref) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun mem ->
+              let kb = key mem in
+              match Hashtbl.find_opt h kb with
+              | Some l -> l := mem :: !l
+              | None -> Hashtbl.replace h kb (ref [ mem ]))
+            members;
+          let parts = Hashtbl.fold (fun _ l acc -> !l :: acc) h [] in
+          if List.length parts > 1 then changed := true;
+          List.iter
+            (fun part -> if List.length part > 1 then out := part :: !out)
+            parts)
+        cls;
+      (!out, !changed)
+    in
+    if debug then
+      Format.eprintf "initial classes: %d@." (List.length !classes);
+    let stable = ref false in
+    while not !stable do
+      Common.check_nodes budget m;
+      (* 1. base split: members must agree in the initial state *)
+      let cls1, ch1 =
+        split_exact (fun mem -> norm base_bdds.(mem.u) mem.inv) !classes
+      in
+      (* 2. the candidate invariant A(s): conjunction of the pairwise
+         equivalences of the state-only members of every class.  Used as a
+         care-set constraint (van Eijk), which keeps the downward
+         refinement monotone. *)
+      let a_bdd = ref (Bdd.one m) in
+      List.iter
+        (fun members ->
+          let so = List.filter (fun mem -> state_only mem.u) members in
+          match so with
+          | [] -> ()
+          | m0 :: rest ->
+              let c0 = norm plain_bdds.(m0.u) m0.inv in
+              List.iter
+                (fun mem ->
+                  let cm = norm plain_bdds.(mem.u) mem.inv in
+                  a_bdd := Bdd.and_ m !a_bdd (Bdd.xnor_ m c0 cm);
+                  Common.check_nodes budget m)
+                rest)
+        cls1;
+      let a_bdd = !a_bdd in
+      (* 3. step split: members must agree one cycle later, on states
+         satisfying A *)
+      let equal_under_a b1 b2 =
+        Bdd.equal b1 b2
+        || Bdd.is_zero m (Bdd.and_ m a_bdd (Bdd.xor_ m b1 b2))
+      in
+      let cls2, ch2 =
+        let changed = ref false in
+        let out = ref [] in
+        List.iter
+          (fun members ->
+            (* group by exact step-BDD identity first; the (expensive)
+               under-A comparison only runs between group representatives *)
+            let h : (Bdd.t, member list ref) Hashtbl.t = Hashtbl.create 8 in
+            let order = ref [] in
+            List.iter
+              (fun mem ->
+                let kb = norm step_bdds.(mem.u) mem.inv in
+                match Hashtbl.find_opt h kb with
+                | Some l -> l := mem :: !l
+                | None ->
+                    Hashtbl.replace h kb (ref [ mem ]);
+                    order := kb :: !order)
+              members;
+            let groups =
+              List.rev_map (fun kb -> (kb, !(Hashtbl.find h kb))) !order
+            in
+            let rec part = function
+              | [] -> []
+              | (kb, mems) :: rest ->
+                  let same, diff =
+                    List.partition
+                      (fun (kb2, _) ->
+                        Common.check_nodes budget m;
+                        equal_under_a kb kb2)
+                      rest
+                  in
+                  (mems @ List.concat_map snd same) :: part diff
+            in
+            let parts = part groups in
+            if List.length parts > 1 then changed := true;
+            List.iter
+              (fun part -> if List.length part > 1 then out := part :: !out)
+              parts)
+          cls1;
+        (!out, !changed)
+      in
+      if debug then
+        Format.eprintf "round: after base %d classes, after step %d@."
+          (List.length cls1) (List.length cls2);
+      classes := cls2;
+      stable := not (ch1 || ch2)
+    done;
+    (* ---- conclude ---- *)
+    let class_of = Hashtbl.create 256 in
+    List.iteri
+      (fun ci members ->
+        List.iter (fun mem -> Hashtbl.replace class_of mem.u (ci, mem.inv))
+          members)
+      !classes;
+    let ok = ref true in
+    Array.iteri
+      (fun j (_, s) ->
+        let _, sb = cb.outputs.(j) in
+        match
+          (Hashtbl.find_opt class_of s, Hashtbl.find_opt class_of (na + sb))
+        with
+        | Some (c1, i1), Some (c2, i2) when c1 = c2 && i1 = i2 -> ()
+        | r ->
+            if debug then
+              Format.eprintf "output %d unmatched (%s)@." j
+                (match r with
+                | None, None -> "both unclassed"
+                | None, _ -> "A unclassed"
+                | _, None -> "B unclassed"
+                | Some _, Some _ -> "different class/polarity");
+            ok := false)
+      ca.outputs;
+    if !ok then Common.Equivalent
+    else Common.Inconclusive "outputs not in a common inductive class"
+  with Common.Out_of_budget -> Common.Timeout
+
+let equiv_star budget ca cb = equiv ~exploit_dependencies:true budget ca cb

@@ -1,0 +1,33 @@
+(** Van Eijk-style sequential equivalence checking by signal
+    correspondence (van Eijk & Jess, "Exploiting functional dependencies
+    in finite state machine verification").
+
+    Candidate equivalence classes over {e all} signals of the product
+    machine are seeded by random simulation, then refined to an inductive
+    fixpoint with BDD checks:
+
+    - {e base}: class members must have equal BDDs in the initial state;
+    - {e step}: assuming register-output equivalences (substituting class
+      representative variables), class members must have equal BDDs one
+      clock cycle later.
+
+    At the fixpoint the surviving classes form an inductive invariant; the
+    circuits are reported equivalent when each output pair falls into one
+    class.  The method is incomplete: a failed match is reported as
+    [Inconclusive], never as [Not_equivalent].
+
+    The [star] variant first eliminates functionally dependent registers
+    (duplicate/complementary/constant next-state functions), shrinking the
+    BDD variable support before the fixpoint — the paper's "Eijk*"
+    column. *)
+
+val equiv :
+  ?debug:bool ->
+  ?exploit_dependencies:bool ->
+  ?sim_cycles:int ->
+  Common.budget -> Circuit.t -> Circuit.t -> Common.result
+(** Plain van Eijk ([exploit_dependencies] defaults to [false]).  Both
+    circuits must be pure bit-level with matching interfaces. *)
+
+val equiv_star : Common.budget -> Circuit.t -> Circuit.t -> Common.result
+(** [equiv ~exploit_dependencies:true]. *)

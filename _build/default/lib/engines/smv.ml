@@ -1,0 +1,73 @@
+let equiv_stats budget ca cb =
+  let m = Bdd.manager () in
+  try
+    let p = Symbolic.product ~check:(fun () -> Common.check_nodes budget m) m ca cb in
+    let k = p.Symbolic.n_regs in
+    (* Output-difference predicate over current state: exists an input
+       distinguishing the two circuits. *)
+    let diff =
+      let d = ref (Bdd.zero m) in
+      Array.iteri
+        (fun j oa ->
+          d := Bdd.or_ m !d (Bdd.xor_ m oa p.Symbolic.out_b.(j)))
+        p.Symbolic.out_a;
+      Common.check_nodes budget m;
+      Bdd.exists m (List.init p.Symbolic.n_inputs p.Symbolic.inp_var) !d
+    in
+    (* Monolithic transition relation. *)
+    let relation =
+      let r = ref (Bdd.one m) in
+      Array.iteri
+        (fun i f ->
+          let bit =
+            Bdd.xnor_ m (Bdd.var m (p.Symbolic.nxt_var i)) f
+          in
+          r := Bdd.and_ m !r bit;
+          Common.check_nodes budget m)
+        p.Symbolic.next_fn;
+      !r
+    in
+    let quantified =
+      List.init k p.Symbolic.cur_var
+      @ List.init p.Symbolic.n_inputs p.Symbolic.inp_var
+    in
+    let rename_next_to_cur f =
+      Bdd.compose m f (fun v ->
+          if v < 2 * k && v mod 2 = 1 then
+            Some (Bdd.var m (v - 1))
+          else None)
+    in
+    let image s =
+      let joint = Bdd.and_ m s relation in
+      Common.check_nodes budget m;
+      rename_next_to_cur (Bdd.exists m quantified joint)
+    in
+    let init_state =
+      let s = ref (Bdd.one m) in
+      Array.iteri
+        (fun i b ->
+          let v = Bdd.var m (p.Symbolic.cur_var i) in
+          s := Bdd.and_ m !s (if b then v else Bdd.not_ m v))
+        p.Symbolic.init;
+      !s
+    in
+    let rec bfs reached frontier iters peak =
+      Common.check_nodes budget m;
+      if not (Bdd.is_zero m (Bdd.and_ m frontier diff)) then
+        (Common.Not_equivalent "distinguishing reachable state", iters, peak)
+      else begin
+        let nxt = image frontier in
+        let fresh = Bdd.and_ m nxt (Bdd.not_ m reached) in
+        if Bdd.is_zero m fresh then (Common.Equivalent, iters, peak)
+        else
+          let reached' = Bdd.or_ m reached fresh in
+          bfs reached' fresh (iters + 1)
+            (max peak (Bdd.size m reached'))
+      end
+    in
+    bfs init_state init_state 0 (Bdd.size m init_state)
+  with Common.Out_of_budget -> (Common.Timeout, 0, 0)
+
+let equiv budget ca cb =
+  let r, _, _ = equiv_stats budget ca cb in
+  r

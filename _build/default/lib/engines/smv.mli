@@ -1,0 +1,19 @@
+(** SMV-style symbolic model checking for sequential equivalence
+    (Burch–Clarke–Long–McMillan–Dill, "Symbolic model checking for
+    sequential circuit verification").
+
+    Builds the product machine of the two circuits, the monolithic
+    transition relation [R(s, i, s')], and performs a breadth-first
+    symbolic state traversal from the initial state; at every frontier it
+    checks that no reachable state can distinguish the outputs.  This is
+    the paper's "SMV" baseline: exact, complete, and exponential in the
+    number of state variables. *)
+
+val equiv : Common.budget -> Circuit.t -> Circuit.t -> Common.result
+(** Both circuits must be pure bit-level with matching interfaces. *)
+
+val equiv_stats :
+  Common.budget -> Circuit.t -> Circuit.t ->
+  Common.result * int * int
+(** Like {!equiv}, also returning [(iterations, peak reached-set BDD
+    size)] for the benchmark report. *)

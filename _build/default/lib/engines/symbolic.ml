@@ -1,0 +1,108 @@
+open Circuit
+
+type product = {
+  man : Bdd.manager;
+  n_regs : int;
+  n_inputs : int;
+  cur_var : int -> int;
+  nxt_var : int -> int;
+  inp_var : int -> int;
+  inp2_var : int -> int;
+  init : bool array;
+  next_fn : Bdd.t array;
+  out_a : Bdd.t array;
+  out_b : Bdd.t array;
+}
+
+let compile_signals ?(check = fun () -> ()) m c ~inputs ~regs =
+  let n = n_signals c in
+  let vals = Array.make n (Bdd.zero m) in
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Input i -> vals.(s) <- inputs.(i)
+      | Reg_out r -> vals.(s) <- regs.(r)
+      | Gate _ -> ())
+    c.drivers;
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Input _ | Reg_out _ -> ()
+      | Gate (op, args) ->
+          check ();
+          let a i = vals.(List.nth args i) in
+          let v =
+            match op with
+            | Not -> Bdd.not_ m (a 0)
+            | Buf -> a 0
+            | And -> Bdd.and_ m (a 0) (a 1)
+            | Or -> Bdd.or_ m (a 0) (a 1)
+            | Nand -> Bdd.not_ m (Bdd.and_ m (a 0) (a 1))
+            | Nor -> Bdd.not_ m (Bdd.or_ m (a 0) (a 1))
+            | Xor -> Bdd.xor_ m (a 0) (a 1)
+            | Xnor -> Bdd.xnor_ m (a 0) (a 1)
+            | Mux -> Bdd.ite m (a 0) (a 1) (a 2)
+            | Constb true -> Bdd.one m
+            | Constb false -> Bdd.zero m
+            | Winc | Wadd | Weq | Wmux | Wnot | Wand | Wor | Wxor
+            | Wconst _ ->
+                failwith "Symbolic.compile_signals: word operator (bit-blast first)"
+          in
+          vals.(s) <- v)
+    (topo_order c);
+  vals
+
+let reg_init (r : Circuit.register) =
+  match r.init with
+  | Bit b -> b
+  | Word _ -> failwith "Symbolic: word register (bit-blast first)"
+
+let bit_input_count c =
+  Array.iter
+    (function B -> () | W _ -> failwith "Symbolic: word input (bit-blast first)")
+    c.input_widths;
+  Array.length c.input_widths
+
+let product ?(check = fun () -> ()) m ca cb =
+  let ia = bit_input_count ca and ib = bit_input_count cb in
+  if ia <> ib then failwith "Symbolic.product: input counts differ";
+  if Array.length ca.outputs <> Array.length cb.outputs then
+    failwith "Symbolic.product: output counts differ";
+  let ka = Array.length ca.registers and kb = Array.length cb.registers in
+  let k = ka + kb in
+  (* Variable order: interleaved current/next state bits first, then the
+     two input banks. *)
+  let cur_var i = 2 * i in
+  let nxt_var i = (2 * i) + 1 in
+  let inp_var j = (2 * k) + j in
+  let inp2_var j = (2 * k) + ia + j in
+  let inputs = Array.init ia (fun j -> Bdd.var m (inp_var j)) in
+  let regs_a = Array.init ka (fun i -> Bdd.var m (cur_var i)) in
+  let regs_b = Array.init kb (fun i -> Bdd.var m (cur_var (ka + i))) in
+  let sig_a = compile_signals ~check m ca ~inputs ~regs:regs_a in
+  let sig_b = compile_signals ~check m cb ~inputs ~regs:regs_b in
+  let next_fn =
+    Array.init k (fun i ->
+        if i < ka then sig_a.(ca.registers.(i).data)
+        else sig_b.(cb.registers.(i - ka).data))
+  in
+  let init =
+    Array.init k (fun i ->
+        if i < ka then reg_init ca.registers.(i)
+        else reg_init cb.registers.(i - ka))
+  in
+  let out_a = Array.map (fun (_, s) -> sig_a.(s)) ca.outputs in
+  let out_b = Array.map (fun (_, s) -> sig_b.(s)) cb.outputs in
+  {
+    man = m;
+    n_regs = k;
+    n_inputs = ia;
+    cur_var;
+    nxt_var;
+    inp_var;
+    inp2_var;
+    init;
+    next_fn;
+    out_a;
+    out_b;
+  }

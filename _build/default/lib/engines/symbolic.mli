@@ -1,0 +1,34 @@
+(** Compilation of bit-level netlists to BDDs, and the product machine
+    shared by the symbolic engines.
+
+    Both circuits must be pure bit-level (no word signals): callers
+    bit-blast first ({!Bitblast.expand}). *)
+
+type product = {
+  man : Bdd.manager;
+  n_regs : int;  (** product register count (A's then B's) *)
+  n_inputs : int;  (** shared primary-input count *)
+  cur_var : int -> int;  (** BDD variable of current-state bit [i] *)
+  nxt_var : int -> int;  (** BDD variable of next-state bit [i] *)
+  inp_var : int -> int;  (** BDD variable of input bit [j] *)
+  inp2_var : int -> int;  (** second input bank (for van Eijk's step) *)
+  init : bool array;  (** initial values of the product registers *)
+  next_fn : Bdd.t array;
+      (** next-state function of each product register over current-state
+          and (first-bank) input variables *)
+  out_a : Bdd.t array;  (** output functions of circuit A *)
+  out_b : Bdd.t array;  (** output functions of circuit B *)
+}
+
+val compile_signals :
+  ?check:(unit -> unit) ->
+  Bdd.manager -> Circuit.t -> inputs:Bdd.t array -> regs:Bdd.t array ->
+  Bdd.t array
+(** BDD of every signal, given BDDs for the primary inputs and register
+    outputs.  [check] is called before each gate (budget enforcement).
+    @raise Failure on word signals. *)
+
+val product :
+  ?check:(unit -> unit) -> Bdd.manager -> Circuit.t -> Circuit.t -> product
+(** Build the product machine of two interface-compatible circuits.
+    @raise Failure if the interfaces differ. *)

@@ -1,0 +1,1 @@
+lib/hash/embed.ml: Array Automata Boolean Circuit Conv List Logic Pairs Term Ty

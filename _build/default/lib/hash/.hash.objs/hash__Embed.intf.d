@@ -1,0 +1,1 @@
+lib/hash/embed.mli: Circuit Conv Logic Term Ty

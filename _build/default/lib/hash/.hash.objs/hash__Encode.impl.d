@@ -1,0 +1,1 @@
+lib/hash/encode.ml: Array Automata Boolean Circuit Conv Drule Embed Errors Kernel List Logic Pairs Synthesis Term Ty Unix

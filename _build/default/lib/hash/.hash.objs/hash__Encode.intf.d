@@ -1,0 +1,1 @@
+lib/hash/encode.mli: Circuit Embed Synthesis

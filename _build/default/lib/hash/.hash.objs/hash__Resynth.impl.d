@@ -1,0 +1,1 @@
+lib/hash/resynth.ml: Automata Boolean Conv Drule Embed Errors Kernel Logic Pairs Simplify Synthesis Term Ty Unix

@@ -1,0 +1,1 @@
+lib/hash/resynth.mli: Circuit Embed Synthesis

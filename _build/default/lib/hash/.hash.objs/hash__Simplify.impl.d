@@ -1,0 +1,1 @@
+lib/hash/simplify.ml: Array Circuit List

@@ -1,0 +1,1 @@
+lib/hash/simplify.mli: Circuit

@@ -1,0 +1,1 @@
+lib/hash/split.ml: Array Circuit Cut Drule Embed Errors Kernel List Logic Pairs Printf Term Ty

@@ -1,0 +1,1 @@
+lib/hash/split.mli: Circuit Cut Embed Kernel Logic Term Ty

@@ -1,0 +1,1 @@
+lib/hash/synthesis.ml: Automata Circuit Cut Drule Embed Errors Forward Kernel List Logic Split Term Ty Unix

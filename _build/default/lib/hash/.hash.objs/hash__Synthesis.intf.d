@@ -1,0 +1,1 @@
+lib/hash/synthesis.mli: Circuit Cut Embed Kernel Logic Term

@@ -1,0 +1,18 @@
+(** Failure modes of the formal synthesis procedure (paper §IV.C).
+
+    A faulty heuristic can make the transformation {e fail} — never
+    produce an incorrect theorem: these exceptions are raised before any
+    theorem about the target circuit exists. *)
+
+exception Cut_mismatch of string
+(** The supplied cut does not match the universal retiming pattern (the
+    paper's "false cut": the equality cannot even be stated). *)
+
+exception Join_mismatch of string
+(** Internal consistency failure between the derived right-hand side and
+    the conventionally retimed netlist (indicates a bug in the
+    conventional synthesis layer, caught — by construction — before a
+    theorem is produced). *)
+
+let cut_mismatch fmt = Format.kasprintf (fun s -> raise (Cut_mismatch s)) fmt
+let join_mismatch fmt = Format.kasprintf (fun s -> raise (Join_mismatch s)) fmt

@@ -1,0 +1,66 @@
+open Logic
+
+let simp_rewrites =
+  Boolean.and_clauses @ Boolean.or_clauses @ Boolean.not_clauses
+  @ Boolean.xor_clauses @ Boolean.eq_bool_clauses @ Boolean.cond_clauses
+
+(* Beta-reduce and simplify with the clause theorems, bottom-up and
+   memoised. *)
+let simp_conv tm =
+  Conv.memo_top_depth_conv
+    (Conv.orelsec (Conv.rewrs_conv simp_rewrites) Pairs.let_proj_conv)
+    tm
+
+let resynthesize level c =
+  let t0 = Unix.gettimeofday () in
+  let simplified = Simplify.constant_prop c in
+  let e1 = Embed.embed level c in
+  let e2 = Embed.embed level simplified in
+  let t1 = Unix.gettimeofday () in
+  (* |- !i s. fd1 i s = fd2 i s *)
+  let i = e1.Embed.i_var and s = e1.Embed.s_var in
+  let app fd = Term.mk_comb (Term.mk_comb fd i) s in
+  let th1 = simp_conv (app e1.Embed.fd) in
+  let th2 = simp_conv (app e2.Embed.fd) in
+  if not (Term.aconv (Drule.rhs th1) (Drule.rhs th2)) then
+    Errors.join_mismatch
+      "netlist simplifier and logical rewrite system disagree";
+  let pointwise = Kernel.trans th1 (Drule.sym th2) in
+  let hyp_thm = Boolean.gen i (Boolean.gen s pointwise) in
+  (* instantiate COMB_EQUIV_THM and discharge its hypothesis *)
+  let inst_thm =
+    Kernel.inst
+      [
+        (Term.mk_var "fd1"
+           (Ty.fn e1.Embed.i_ty
+              (Ty.fn e1.Embed.s_ty (Ty.prod e1.Embed.o_ty e1.Embed.s_ty))),
+         e1.Embed.fd);
+        (Term.mk_var "fd2"
+           (Ty.fn e1.Embed.i_ty
+              (Ty.fn e1.Embed.s_ty (Ty.prod e1.Embed.o_ty e1.Embed.s_ty))),
+         e2.Embed.fd);
+        (Term.mk_var "q" e1.Embed.s_ty, e1.Embed.q);
+      ]
+      (Kernel.inst_type
+         [ ("a", e1.Embed.i_ty); ("b", e1.Embed.s_ty); ("c", e1.Embed.o_ty) ]
+         Automata.Retiming_thm.comb_equiv_thm)
+  in
+  let theorem = Boolean.prove_hyp hyp_thm inst_thm in
+  if Kernel.hyp theorem <> [] then
+    Errors.join_mismatch "hypothesis of COMB_EQUIV was not discharged";
+  let t2 = Unix.gettimeofday () in
+  {
+    Synthesis.before = c;
+    after = simplified;
+    theorem;
+    lhs_term = fst (Term.dest_eq (Kernel.concl theorem));
+    rhs_term = snd (Term.dest_eq (Kernel.concl theorem));
+    timings =
+      {
+        Synthesis.t_embed = t1 -. t0;
+        t_split = 0.;
+        t_apply = t2 -. t1;
+        t_join = 0.;
+        t_init = 0.;
+      };
+  }

@@ -1,0 +1,16 @@
+(** Formal combinational resynthesis: the composition partner of the
+    retiming step from the paper's §III.A ("the first step could be e.g. a
+    retiming step and the second a logic minimization step").
+
+    The conventional simplification ({!Simplify.constant_prop}) is
+    justified inside the logic by rewriting the original step function
+    with the boolean clause theorems and discharging the hypothesis of the
+    kernel-derived [COMB_EQUIV_THM]
+    ([(!i s. fd1 i s = fd2 i s) |- automaton fd1 q = automaton fd2 q]).
+
+    The result is a {!Synthesis.step}, so it composes with retiming steps
+    through {!Synthesis.compose} — one transitivity rule. *)
+
+val resynthesize : Embed.level -> Circuit.t -> Synthesis.step
+(** @raise Errors.Join_mismatch if the netlist simplifier and the logical
+    rewrite system ever disagree (a bug trap, not a user error). *)

@@ -1,0 +1,85 @@
+open Circuit
+
+(* The value of a signal in the new circuit: either a known constant (and
+   the signal carrying it), or just a signal. *)
+type cval = { sig_ : signal; const : bool option }
+
+let constant_prop (c : Circuit.t) =
+  let b = create (c.name ^ "_simp") in
+  let input_sig = Array.map (fun w -> input b w) c.input_widths in
+  let regs =
+    Array.map
+      (fun (r : register) -> reg b ~init:r.init (width_of_value r.init))
+      c.registers
+  in
+  let map : cval array =
+    Array.make (n_signals c) { sig_ = -1; const = None }
+  in
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Input i -> map.(s) <- { sig_ = input_sig.(i); const = None }
+      | Reg_out r -> map.(s) <- { sig_ = regs.(r); const = None }
+      | Gate _ -> ())
+    c.drivers;
+  let konst v =
+    (* a fresh constant gate; folding keeps the netlist small enough that
+       sharing them is not worth the bookkeeping *)
+    { sig_ = constb b v; const = Some v }
+  in
+  let emit op args = { sig_ = gate b op (List.map (fun a -> a.sig_) args);
+                       const = None } in
+  let not_of a =
+    match a.const with
+    | Some v -> konst (not v)
+    | None -> emit Not [ a ]
+  in
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Input _ | Reg_out _ -> ()
+      | Gate (op, args) ->
+          let a = List.map (fun x -> map.(x)) args in
+          let v =
+            (* each case mirrors a clause theorem of Logic.Boolean; see
+               Resynth for the corresponding rewrite set *)
+            match (op, a) with
+            | Buf, [ x ] -> x
+            | Constb v, [] -> konst v
+            | Not, [ x ] -> not_of x
+            | And, [ { const = Some true; _ }; y ] -> y
+            | And, [ x; { const = Some true; _ } ] -> x
+            | And, [ { const = Some false; _ }; _ ]
+            | And, [ _; { const = Some false; _ } ] ->
+                konst false
+            | Or, [ { const = Some true; _ }; _ ]
+            | Or, [ _; { const = Some true; _ } ] ->
+                konst true
+            | Or, [ { const = Some false; _ }; y ] -> y
+            | Or, [ x; { const = Some false; _ } ] -> x
+            | Nand, [ { const = Some true; _ }; y ] -> not_of y
+            | Nand, [ x; { const = Some true; _ } ] -> not_of x
+            | Nand, [ { const = Some false; _ }; _ ]
+            | Nand, [ _; { const = Some false; _ } ] ->
+                konst true
+            | Nor, [ { const = Some true; _ }; _ ]
+            | Nor, [ _; { const = Some true; _ } ] ->
+                konst false
+            | Nor, [ { const = Some false; _ }; y ] -> not_of y
+            | Nor, [ x; { const = Some false; _ } ] -> not_of x
+            | Xor, [ { const = Some v1; _ }; { const = Some v2; _ } ] ->
+                konst (v1 <> v2)
+            | Xnor, [ { const = Some v1; _ }; { const = Some v2; _ } ] ->
+                konst (v1 = v2)
+            | Xnor, [ { const = Some true; _ }; y ] -> y
+            | Mux, [ { const = Some true; _ }; x; _ ] -> x
+            | Mux, [ { const = Some false; _ }; _; y ] -> y
+            | _ -> emit op a
+          in
+          map.(s) <- v)
+    (topo_order c);
+  Array.iteri
+    (fun i (r : register) -> connect_reg b regs.(i) ~data:map.(r.data).sig_)
+    c.registers;
+  Array.iter (fun (n, s) -> output b n map.(s).sig_) c.outputs;
+  finish b

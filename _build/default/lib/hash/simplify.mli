@@ -1,0 +1,11 @@
+(** Combinational simplification (constant propagation) of netlists.
+
+    The local rules mirror, gate for gate, the boolean clause theorems of
+    {!Logic.Boolean} — so that the simplified netlist's embedding is
+    reachable from the original's by rewriting inside the logic, which is
+    how {!Resynth} proves the step correct.  Word-level operators are left
+    untouched. *)
+
+val constant_prop : Circuit.t -> Circuit.t
+(** Fold constants through boolean gates and drop buffers.  Preserves the
+    interface (inputs, outputs, registers) exactly. *)

@@ -1,0 +1,1 @@
+lib/logic/boolean.ml: Conv Drule Kernel List Term Ty

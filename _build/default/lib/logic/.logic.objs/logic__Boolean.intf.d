@@ -1,0 +1,1 @@
+lib/logic/boolean.mli: Conv Kernel Term

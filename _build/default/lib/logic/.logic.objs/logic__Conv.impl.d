@@ -1,0 +1,1 @@
+lib/logic/conv.ml: Drule Kernel List Term

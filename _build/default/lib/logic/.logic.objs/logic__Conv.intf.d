@@ -1,0 +1,1 @@
+lib/logic/conv.mli: Kernel Term

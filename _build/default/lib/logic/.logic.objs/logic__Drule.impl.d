@@ -1,0 +1,1 @@
+lib/logic/drule.ml: Kernel Term

@@ -1,0 +1,1 @@
+lib/logic/drule.mli: Kernel Term

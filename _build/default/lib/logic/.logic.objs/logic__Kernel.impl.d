@@ -1,0 +1,1 @@
+lib/logic/kernel.ml: Format Hashtbl List Term Ty

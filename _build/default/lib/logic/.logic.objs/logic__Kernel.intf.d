@@ -1,0 +1,1 @@
+lib/logic/kernel.mli: Format Term Ty

@@ -1,0 +1,1 @@
+lib/logic/pairs.ml: Conv Drule Kernel List Term Ty

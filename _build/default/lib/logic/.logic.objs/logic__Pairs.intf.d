@@ -1,0 +1,1 @@
+lib/logic/pairs.mli: Conv Kernel Term

@@ -1,0 +1,1 @@
+lib/logic/ty.ml: Format List Stdlib

@@ -1,0 +1,1 @@
+lib/logic/ty.mli: Format

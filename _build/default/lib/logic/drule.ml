@@ -1,0 +1,30 @@
+type thm = Kernel.thm
+
+let lhs th = fst (Term.dest_eq (Kernel.concl th))
+let rhs th = snd (Term.dest_eq (Kernel.concl th))
+
+let sym th =
+  let tm = Kernel.concl th in
+  let l, _ = Term.dest_eq tm in
+  let eq_fn = Term.rator (Term.rator tm) in
+  let lth = Kernel.refl l in
+  Kernel.eq_mp
+    (Kernel.mk_comb_rule (Kernel.mk_comb_rule (Kernel.refl eq_fn) th) lth)
+    lth
+
+let ap_term f th = Kernel.mk_comb_rule (Kernel.refl f) th
+let ap_thm th x = Kernel.mk_comb_rule th (Kernel.refl x)
+let alpha_link t1 t2 = Kernel.trans (Kernel.refl t1) (Kernel.refl t2)
+
+let beta_conv tm =
+  match tm with
+  | Term.Comb (Term.Abs (v, _), arg) when arg = v -> Kernel.beta tm
+  | Term.Comb ((Term.Abs (v, _) as f), arg) ->
+      let th = Kernel.beta (Term.mk_comb f v) in
+      Kernel.inst [ (v, arg) ] th
+  | _ -> failwith "Drule.beta_conv: not a beta-redex"
+
+let mk_binop_eq op th1 th2 =
+  Kernel.mk_comb_rule (ap_term op th1) th2
+
+let eqt_intro_eq = Kernel.eq_mp

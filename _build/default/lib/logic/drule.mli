@@ -1,0 +1,31 @@
+(** Basic derived equality rules, built purely from the kernel rules. *)
+
+type thm = Kernel.thm
+
+val lhs : thm -> Term.t
+(** Left-hand side of an equational theorem's conclusion. *)
+
+val rhs : thm -> Term.t
+(** Right-hand side of an equational theorem's conclusion. *)
+
+val sym : thm -> thm
+(** [|- a = b] to [|- b = a]. *)
+
+val ap_term : Term.t -> thm -> thm
+(** [|- a = b] to [|- f a = f b]. *)
+
+val ap_thm : thm -> Term.t -> thm
+(** [|- f = g] to [|- f x = g x]. *)
+
+val alpha_link : Term.t -> Term.t -> thm
+(** [alpha_link t1 t2] is [|- t1 = t2] for alpha-equivalent terms. *)
+
+val beta_conv : Term.t -> thm
+(** [beta_conv ((\x. b) s)] is [|- (\x. b) s = b[s/x]]. *)
+
+val mk_binop_eq : Term.t -> thm -> thm -> thm
+(** [mk_binop_eq op |- a = b |- c = d] is [|- op a c = op b d]. *)
+
+val eqt_intro_eq : thm -> thm -> thm
+(** Given [|- p = q] and [|- p], derive [|- q] (alias of [eq_mp], exported
+    for readability in proof scripts). *)

@@ -1,0 +1,210 @@
+type thm = { hyps : Term.t list; concl : Term.t }
+
+let concl th = th.concl
+let hyp th = th.hyps
+let dest_thm th = (th.hyps, th.concl)
+
+let pp_thm ppf th =
+  match th.hyps with
+  | [] -> Format.fprintf ppf "|- %a" Term.pp th.concl
+  | hs ->
+      Format.fprintf ppf "%a |- %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Term.pp)
+        hs Term.pp th.concl
+
+let string_of_thm th = Format.asprintf "%a" pp_thm th
+
+(* ------------------------------------------------------------------ *)
+(* Hypothesis sets: lists sorted by alpha-order, without duplicates.   *)
+(* ------------------------------------------------------------------ *)
+
+let rec term_union l1 l2 =
+  match (l1, l2) with
+  | [], l | l, [] -> l
+  | h1 :: t1, h2 :: t2 ->
+      let c = Term.alphaorder h1 h2 in
+      if c = 0 then h1 :: term_union t1 t2
+      else if c < 0 then h1 :: term_union t1 l2
+      else h2 :: term_union l1 t2
+
+let term_remove t l = List.filter (fun t' -> not (Term.aconv t t')) l
+
+let term_image f l =
+  List.sort_uniq Term.alphaorder (List.map f l)
+
+(* ------------------------------------------------------------------ *)
+(* Signature                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let the_type_constants : (string, int) Hashtbl.t = Hashtbl.create 16
+let the_term_constants : (string, Ty.t) Hashtbl.t = Hashtbl.create 64
+
+let () =
+  Hashtbl.replace the_type_constants "bool" 0;
+  Hashtbl.replace the_type_constants "fun" 2;
+  Hashtbl.replace the_term_constants "="
+    (Ty.fn Ty.alpha (Ty.fn Ty.alpha Ty.bool))
+
+let new_type name arity =
+  match Hashtbl.find_opt the_type_constants name with
+  | Some a when a = arity -> ()
+  | Some _ -> failwith ("Kernel.new_type: arity clash for " ^ name)
+  | None -> Hashtbl.replace the_type_constants name arity
+
+let new_constant name ty =
+  if Hashtbl.mem the_term_constants name then
+    failwith ("Kernel.new_constant: already declared: " ^ name)
+  else Hashtbl.replace the_term_constants name ty
+
+let get_const_type name = Hashtbl.find the_term_constants name
+let is_constant name = Hashtbl.mem the_term_constants name
+
+let mk_const name tyin =
+  match Hashtbl.find_opt the_term_constants name with
+  | None -> failwith ("Kernel.mk_const: undeclared constant: " ^ name)
+  | Some gty -> Term.mk_const_raw name (Ty.subst tyin gty)
+
+let mk_const_at name ty =
+  match Hashtbl.find_opt the_term_constants name with
+  | None -> failwith ("Kernel.mk_const_at: undeclared constant: " ^ name)
+  | Some gty ->
+      let tyin = Ty.match_ gty ty [] in
+      Term.mk_const_raw name (Ty.subst tyin gty)
+
+(* ------------------------------------------------------------------ *)
+(* Rule counter                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rules = ref 0
+let tick () = incr rules
+let rule_count () = !rules
+
+(* ------------------------------------------------------------------ *)
+(* Primitive rules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let refl t =
+  tick ();
+  { hyps = []; concl = Term.mk_eq t t }
+
+let trans th1 th2 =
+  tick ();
+  let a, b = Term.dest_eq th1.concl in
+  let b', c = Term.dest_eq th2.concl in
+  if not (Term.aconv b b') then failwith "Kernel.trans: middle terms differ"
+  else { hyps = term_union th1.hyps th2.hyps; concl = Term.mk_eq a c }
+
+let mk_comb_rule th1 th2 =
+  tick ();
+  let f, g = Term.dest_eq th1.concl in
+  let x, y = Term.dest_eq th2.concl in
+  (match Term.type_of f with
+  | Ty.Tyapp ("fun", [ a; _ ]) when Ty.equal a (Term.type_of x) -> ()
+  | _ -> failwith "Kernel.mk_comb_rule: types do not agree");
+  {
+    hyps = term_union th1.hyps th2.hyps;
+    concl = Term.mk_eq (Term.mk_comb f x) (Term.mk_comb g y);
+  }
+
+let abs v th =
+  tick ();
+  if not (Term.is_var v) then failwith "Kernel.abs: not a variable"
+  else if List.exists (Term.free_in v) th.hyps then
+    failwith "Kernel.abs: variable free in hypotheses"
+  else
+    let l, r = Term.dest_eq th.concl in
+    {
+      hyps = th.hyps;
+      concl = Term.mk_eq (Term.mk_abs v l) (Term.mk_abs v r);
+    }
+
+let beta tm =
+  tick ();
+  match tm with
+  | Term.Comb (Term.Abs (v, body), arg) when arg = v ->
+      { hyps = []; concl = Term.mk_eq tm body }
+  | _ -> failwith "Kernel.beta: not a trivial beta-redex"
+
+let assume p =
+  tick ();
+  if not (Ty.equal (Term.type_of p) Ty.bool) then
+    failwith "Kernel.assume: not a proposition"
+  else { hyps = [ p ]; concl = p }
+
+let eq_mp th1 th2 =
+  tick ();
+  let a, b = Term.dest_eq th1.concl in
+  if not (Term.aconv a th2.concl) then
+    failwith "Kernel.eq_mp: theorems do not align"
+  else { hyps = term_union th1.hyps th2.hyps; concl = b }
+
+let deduct_antisym_rule th1 th2 =
+  tick ();
+  let hyps =
+    term_union (term_remove th2.concl th1.hyps)
+      (term_remove th1.concl th2.hyps)
+  in
+  { hyps; concl = Term.mk_eq th1.concl th2.concl }
+
+let inst theta th =
+  tick ();
+  if theta = [] then th
+  else
+    {
+      hyps = term_image (Term.vsubst theta) th.hyps;
+      concl = Term.vsubst theta th.concl;
+    }
+
+let inst_type tyin th =
+  tick ();
+  if tyin = [] then th
+  else
+    {
+      hyps = term_image (Term.inst tyin) th.hyps;
+      concl = Term.inst tyin th.concl;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Extension principles                                                *)
+(* ------------------------------------------------------------------ *)
+
+let the_definitions : (string * thm) list ref = ref []
+let the_axioms : (string * thm) list ref = ref []
+
+let new_basic_definition eq =
+  let l, r = Term.dest_eq eq in
+  let name, ty = Term.dest_var l in
+  if Term.frees r <> [] then
+    failwith "Kernel.new_basic_definition: definiens has free variables"
+  else if
+    not
+      (List.for_all
+         (fun v -> List.mem v (Ty.tyvars ty))
+         (List.concat_map (fun v -> Ty.tyvars (snd (Term.dest_var v)))
+            (Term.frees r))
+      && List.for_all
+           (fun v -> List.mem v (Ty.tyvars ty))
+           (Ty.tyvars (Term.type_of r)))
+  then failwith "Kernel.new_basic_definition: type variables escape"
+  else begin
+    new_constant name ty;
+    tick ();
+    let th = { hyps = []; concl = Term.mk_eq (mk_const name []) r } in
+    the_definitions := (name, th) :: !the_definitions;
+    th
+  end
+
+let new_axiom name p =
+  if not (Ty.equal (Term.type_of p) Ty.bool) then
+    failwith "Kernel.new_axiom: not a proposition"
+  else begin
+    tick ();
+    let th = { hyps = []; concl = p } in
+    the_axioms := (name, th) :: !the_axioms;
+    th
+  end
+
+let axioms () = !the_axioms
+let definitions () = !the_definitions

@@ -1,0 +1,106 @@
+(** The LCF kernel: the only module that can create theorems.
+
+    A value of type {!thm} asserts that its conclusion follows (in
+    higher-order logic) from its hypotheses and from the registered axioms.
+    The type is abstract; the primitive inference rules below are the only
+    constructors, mirroring the security argument of the paper (§III.B):
+    "the only way to derive a theorem is by deriving it from axioms and
+    rules".
+
+    The rule set is HOL Light's: [REFL], [TRANS], [MK_COMB], [ABS], [BETA],
+    [ASSUME], [EQ_MP], [DEDUCT_ANTISYM_RULE], [INST], [INST_TYPE], plus the
+    definitional principle [new_basic_definition] and an audited
+    [new_axiom]. *)
+
+type thm
+
+val concl : thm -> Term.t
+val hyp : thm -> Term.t list
+val dest_thm : thm -> Term.t list * Term.t
+
+val pp_thm : Format.formatter -> thm -> unit
+val string_of_thm : thm -> string
+
+(** {1 Signature management} *)
+
+val new_type : string -> int -> unit
+(** [new_type name arity] declares a type operator.
+    @raise Failure if already declared with a different arity. *)
+
+val new_constant : string -> Ty.t -> unit
+(** Declare a constant with its generic type.
+    @raise Failure if already declared. *)
+
+val get_const_type : string -> Ty.t
+(** The generic type of a declared constant.  @raise Not_found. *)
+
+val is_constant : string -> bool
+
+val mk_const : string -> (string * Ty.t) list -> Term.t
+(** [mk_const name tyin] builds the constant with its generic type
+    instantiated by [tyin].  @raise Failure if undeclared. *)
+
+val mk_const_at : string -> Ty.t -> Term.t
+(** [mk_const_at name ty] builds the constant at the concrete type [ty],
+    checking that [ty] is an instance of the generic type. *)
+
+(** {1 Primitive inference rules} *)
+
+val refl : Term.t -> thm
+(** [refl t] is [|- t = t]. *)
+
+val trans : thm -> thm -> thm
+(** From [|- a = b] and [|- b' = c] with [b] alpha-equivalent to [b'],
+    derive [|- a = c]. *)
+
+val mk_comb_rule : thm -> thm -> thm
+(** From [|- f = g] and [|- x = y], derive [|- f x = g y]. *)
+
+val abs : Term.t -> thm -> thm
+(** From [|- l = r], derive [|- (\v. l) = (\v. r)], provided [v] is not
+    free in the hypotheses. *)
+
+val beta : Term.t -> thm
+(** [beta ((\x. t) x)] is [|- (\x. t) x = t]; the argument must be
+    syntactically the bound variable (general beta-conversion is derived
+    via [inst]). *)
+
+val assume : Term.t -> thm
+(** [assume p] is [p |- p]; [p] must be boolean. *)
+
+val eq_mp : thm -> thm -> thm
+(** From [|- a = b] and [|- a], derive [|- b]. *)
+
+val deduct_antisym_rule : thm -> thm -> thm
+(** From [A |- p] and [B |- q], derive
+    [(A - {q}) u (B - {p}) |- p = q]. *)
+
+val inst : (Term.t * Term.t) list -> thm -> thm
+(** Instantiate free term variables throughout hypotheses and
+    conclusion. *)
+
+val inst_type : (string * Ty.t) list -> thm -> thm
+(** Instantiate type variables throughout hypotheses and conclusion. *)
+
+(** {1 Extension principles} *)
+
+val new_basic_definition : Term.t -> thm
+(** [new_basic_definition (mk_eq c_var t)] where the left-hand side is a
+    variable [c] standing for the new constant name: declares constant [c]
+    and returns [|- c = t].  [t] must be closed and may not contain type
+    variables absent from its own type. *)
+
+val new_axiom : string -> Term.t -> thm
+(** [new_axiom name p] registers [p] as a named axiom and returns
+    [|- p].  All registered axioms are reported by {!axioms}; the Automata
+    theory keeps this list small and documented. *)
+
+val axioms : unit -> (string * thm) list
+(** Every axiom registered so far, most recent first. *)
+
+val definitions : unit -> (string * thm) list
+(** Every definitional theorem created so far, most recent first. *)
+
+val rule_count : unit -> int
+(** Number of primitive rule applications performed so far (a cheap
+    profiling aid used by the benchmarks). *)

@@ -1,0 +1,165 @@
+type thm = Kernel.thm
+
+let () = Kernel.new_type "prod" 2
+
+let () =
+  Kernel.new_constant ","
+    (Ty.fn Ty.alpha (Ty.fn Ty.beta (Ty.prod Ty.alpha Ty.beta)));
+  Kernel.new_constant "FST" (Ty.fn (Ty.prod Ty.alpha Ty.beta) Ty.alpha);
+  Kernel.new_constant "SND" (Ty.fn (Ty.prod Ty.alpha Ty.beta) Ty.beta)
+
+let comma a b = Kernel.mk_const "," [ ("a", a); ("b", b) ]
+
+let mk_pair x y =
+  Term.list_mk_comb (comma (Term.type_of x) (Term.type_of y)) [ x; y ]
+
+(* Balanced tuples: projection chains are logarithmic in the component
+   count, which keeps the normalisation of large circuit terms cheap. *)
+let rec list_mk_pair = function
+  | [] -> failwith "Pairs.list_mk_pair: empty"
+  | [ x ] -> x
+  | xs ->
+      let n = List.length xs in
+      let l = (n + 1) / 2 in
+      let left = List.filteri (fun i _ -> i < l) xs in
+      let right = List.filteri (fun i _ -> i >= l) xs in
+      mk_pair (list_mk_pair left) (list_mk_pair right)
+
+let dest_pair tm =
+  match tm with
+  | Term.Comb (Term.Comb (Term.Const (",", _), x), y) -> (x, y)
+  | _ -> failwith "Pairs.dest_pair"
+
+let is_pair tm =
+  match tm with
+  | Term.Comb (Term.Comb (Term.Const (",", _), _), _) -> true
+  | _ -> false
+
+let rec strip_pair tm =
+  match tm with
+  | Term.Comb (Term.Comb (Term.Const (",", _), x), y) -> x :: strip_pair y
+  | _ -> [ tm ]
+
+let mk_fst p =
+  let a, b = Ty.dest_prod (Term.type_of p) in
+  Term.mk_comb (Kernel.mk_const "FST" [ ("a", a); ("b", b) ]) p
+
+let mk_snd p =
+  let a, b = Ty.dest_prod (Term.type_of p) in
+  Term.mk_comb (Kernel.mk_const "SND" [ ("a", a); ("b", b) ]) p
+
+let rec proj tup i n =
+  if n = 1 then tup
+  else
+    let l = (n + 1) / 2 in
+    if i < l then proj (mk_fst tup) i l
+    else proj (mk_snd tup) (i - l) (n - l)
+
+(* ------------------------------------------------------------------ *)
+(* LET                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let let_def =
+  let fv = Term.mk_var "f" (Ty.fn Ty.alpha Ty.beta) in
+  let xv = Term.mk_var "x" Ty.alpha in
+  Kernel.new_basic_definition
+    (Term.mk_eq
+       (Term.mk_var "LET" (Ty.fn (Ty.fn Ty.alpha Ty.beta) (Ty.fn Ty.alpha Ty.beta)))
+       (Term.list_mk_abs [ fv; xv ] (Term.mk_comb fv xv)))
+
+let let_const a b = Kernel.mk_const "LET" [ ("a", a); ("b", b) ]
+
+let mk_let v e body =
+  let a = Term.type_of e and b = Term.type_of body in
+  Term.list_mk_comb (let_const a b) [ Term.mk_abs v body; e ]
+
+let dest_let tm =
+  match tm with
+  | Term.Comb (Term.Comb (Term.Const ("LET", _), Term.Abs (v, body)), e) ->
+      (v, e, body)
+  | _ -> failwith "Pairs.dest_let"
+
+let is_let tm =
+  match tm with
+  | Term.Comb (Term.Comb (Term.Const ("LET", _), Term.Abs (_, _)), _) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pairing axioms                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let x_var = Term.mk_var "x" Ty.alpha
+let y_var = Term.mk_var "y" Ty.beta
+let p_var = Term.mk_var "p" (Ty.prod Ty.alpha Ty.beta)
+
+let fst_pair =
+  Kernel.new_axiom "FST_PAIR"
+    (Term.mk_eq (mk_fst (mk_pair x_var y_var)) x_var)
+
+let snd_pair =
+  Kernel.new_axiom "SND_PAIR"
+    (Term.mk_eq (mk_snd (mk_pair x_var y_var)) y_var)
+
+let pair_eta =
+  Kernel.new_axiom "PAIR_ETA"
+    (Term.mk_eq (mk_pair (mk_fst p_var) (mk_snd p_var)) p_var)
+
+(* ------------------------------------------------------------------ *)
+(* Conversions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let let_conv tm =
+  match tm with
+  | Term.Comb (Term.Comb (Term.Const ("LET", _), f), _) ->
+      let th1 =
+        Conv.rator_conv (Conv.rator_conv (Conv.rewr_conv let_def)) tm
+      in
+      (* th1 : LET f e = (\f x. f x) f e *)
+      let th2 = Conv.rator_conv Drule.beta_conv (Drule.rhs th1) in
+      let th3 = Drule.beta_conv (Drule.rhs th2) in
+      (* rhs th3 = f e; if f is an abstraction, reduce once more *)
+      let th = Kernel.trans (Kernel.trans th1 th2) th3 in
+      if Term.is_abs f then Kernel.trans th (Drule.beta_conv (Drule.rhs th))
+      else th
+  | _ -> failwith "Pairs.let_conv: not a LET"
+
+(* Direct instantiation of the pairing axioms — avoids the generic
+   matcher on the hottest reduction of the circuit normaliser. *)
+let proj_conv tm =
+  match tm with
+  | Term.Comb
+      (Term.Const ("FST", _),
+       Term.Comb (Term.Comb (Term.Const (",", _), x), y)) ->
+      let th =
+        Kernel.inst_type
+          [ ("a", Term.type_of x); ("b", Term.type_of y) ]
+          fst_pair
+      in
+      let xv = Term.mk_var "x" (Term.type_of x)
+      and yv = Term.mk_var "y" (Term.type_of y) in
+      Kernel.inst [ (xv, x); (yv, y) ] th
+  | Term.Comb
+      (Term.Const ("SND", _),
+       Term.Comb (Term.Comb (Term.Const (",", _), x), y)) ->
+      let th =
+        Kernel.inst_type
+          [ ("a", Term.type_of x); ("b", Term.type_of y) ]
+          snd_pair
+      in
+      let xv = Term.mk_var "x" (Term.type_of x)
+      and yv = Term.mk_var "y" (Term.type_of y) in
+      Kernel.inst [ (xv, x); (yv, y) ] th
+  | _ -> failwith "Pairs.proj_conv: not a projection of a pair"
+
+let let_proj_conv tm =
+  match tm with
+  | Term.Comb (Term.Comb (Term.Const ("LET", _), _), _) -> let_conv tm
+  | Term.Comb (Term.Const (("FST" | "SND"), _), _) -> proj_conv tm
+  | Term.Comb (Term.Abs (_, _), _) -> Drule.beta_conv tm
+  | _ -> failwith "Pairs.let_proj_conv: no redex"
+
+let mk_pair_eq th1 th2 =
+  let a = Drule.lhs th1 and c = Drule.lhs th2 in
+  Drule.mk_binop_eq
+    (comma (Term.type_of a) (Term.type_of c))
+    th1 th2

@@ -1,0 +1,471 @@
+type t =
+  | Var of string * Ty.t
+  | Const of string * Ty.t
+  | Comb of t * t
+  | Abs of t * t
+
+(* Hash table keyed on physical identity.  [Hashtbl.hash] only inspects a
+   bounded number of nodes, so hashing is O(1) even on huge terms. *)
+module Phys_tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Constructors / destructors                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_var n ty = Var (n, ty)
+let mk_const_raw n ty = Const (n, ty)
+
+let rec type_of tm =
+  match tm with
+  | Var (_, ty) | Const (_, ty) -> ty
+  | Comb (f, _) -> snd (Ty.dest_fn (type_of f))
+  | Abs (Var (_, ty), body) -> Ty.fn ty (type_of body)
+  | Abs (_, _) -> assert false
+
+let mk_comb f x =
+  match type_of f with
+  | Ty.Tyapp ("fun", [ a; _ ]) when Ty.equal a (type_of x) -> Comb (f, x)
+  | _ -> failwith "Term.mk_comb: types do not agree"
+
+let mk_abs v body =
+  match v with
+  | Var _ -> Abs (v, body)
+  | _ -> failwith "Term.mk_abs: binder must be a variable"
+
+let list_mk_comb f args = List.fold_left mk_comb f args
+let list_mk_abs vars body = List.fold_right mk_abs vars body
+
+let eq_const ty = Const ("=", Ty.fn ty (Ty.fn ty Ty.bool))
+
+let mk_eq l r =
+  let ty = type_of l in
+  if not (Ty.equal ty (type_of r)) then
+    failwith "Term.mk_eq: sides have different types"
+  else Comb (Comb (eq_const ty, l), r)
+
+let dest_var = function
+  | Var (n, ty) -> (n, ty)
+  | _ -> failwith "Term.dest_var"
+
+let dest_const = function
+  | Const (n, ty) -> (n, ty)
+  | _ -> failwith "Term.dest_const"
+
+let dest_comb = function
+  | Comb (f, x) -> (f, x)
+  | _ -> failwith "Term.dest_comb"
+
+let dest_abs = function
+  | Abs (v, b) -> (v, b)
+  | _ -> failwith "Term.dest_abs"
+
+let dest_eq = function
+  | Comb (Comb (Const ("=", _), l), r) -> (l, r)
+  | _ -> failwith "Term.dest_eq"
+
+let is_var = function Var _ -> true | _ -> false
+let is_const = function Const _ -> true | _ -> false
+let is_comb = function Comb _ -> true | _ -> false
+let is_abs = function Abs _ -> true | _ -> false
+let is_eq = function Comb (Comb (Const ("=", _), _), _) -> true | _ -> false
+let rator tm = fst (dest_comb tm)
+let rand tm = snd (dest_comb tm)
+
+let strip_comb tm =
+  let rec go tm acc =
+    match tm with Comb (f, x) -> go f (x :: acc) | _ -> (tm, acc)
+  in
+  go tm []
+
+(* ------------------------------------------------------------------ *)
+(* Free variables (memoised)                                           *)
+(* ------------------------------------------------------------------ *)
+
+module VS = Set.Make (struct
+  type nonrec t = string * Ty.t
+
+  let compare = Stdlib.compare
+end)
+
+let frees_cache : VS.t Phys_tbl.t = Phys_tbl.create 4096
+
+let maybe_trim () =
+  if Phys_tbl.length frees_cache > 2_000_000 then Phys_tbl.reset frees_cache
+
+let rec free_set tm =
+  match Phys_tbl.find_opt frees_cache tm with
+  | Some s -> s
+  | None ->
+      let s =
+        match tm with
+        | Var (n, ty) -> VS.singleton (n, ty)
+        | Const _ -> VS.empty
+        | Comb (f, x) -> VS.union (free_set f) (free_set x)
+        | Abs (Var (n, ty), b) -> VS.remove (n, ty) (free_set b)
+        | Abs (_, _) -> assert false
+      in
+      maybe_trim ();
+      Phys_tbl.add frees_cache tm s;
+      s
+
+let frees tm =
+  List.map (fun (n, ty) -> Var (n, ty)) (VS.elements (free_set tm))
+
+(* A 63-bit bloom mask over-approximating the free variables of a term:
+   O(1) union, cached per physical node.  Used to prune substitution
+   traversals without ever materialising the (possibly large) exact sets
+   of the spine nodes of circuit terms. *)
+let mask_cache : int Phys_tbl.t = Phys_tbl.create 4096
+
+let var_bit n ty = 1 lsl (Hashtbl.hash (n, ty) mod 63)
+
+let rec free_mask tm =
+  match Phys_tbl.find_opt mask_cache tm with
+  | Some m -> m
+  | None ->
+      let m =
+        match tm with
+        | Var (n, ty) -> var_bit n ty
+        | Const _ -> 0
+        | Comb (f, x) -> free_mask f lor free_mask x
+        | Abs (_, b) -> free_mask b
+      in
+      if Phys_tbl.length mask_cache > 4_000_000 then
+        Phys_tbl.reset mask_cache;
+      Phys_tbl.add mask_cache tm m;
+      m
+
+let may_be_free v tm =
+  match v with
+  | Var (n, ty) -> free_mask tm land var_bit n ty <> 0
+  | _ -> failwith "Term.may_be_free: not a variable"
+
+let free_in v tm =
+  match v with
+  | Var (n, ty) ->
+      free_mask tm land var_bit n ty <> 0 && VS.mem (n, ty) (free_set tm)
+  | _ -> failwith "Term.free_in: not a variable"
+
+let variant avoid v =
+  let names =
+    List.filter_map (function Var (n, _) -> Some n | _ -> None) avoid
+  in
+  match v with
+  | Var (n, ty) ->
+      let rec go n = if List.mem n names then go (n ^ "'") else n in
+      Var (go n, ty)
+  | _ -> failwith "Term.variant: not a variable"
+
+(* ------------------------------------------------------------------ *)
+(* Alpha equivalence and ordering                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Alpha-ordering is pair-memoised on physical identities whenever the
+   binder environment is trivial (empty or identically-paired), which is
+   the common case when comparing the dag-shaped normal forms of circuit
+   terms; without the memo such comparisons would be exponential in the
+   dag depth.  An environment pair (v, v) constrains nothing, so it can be
+   dropped for memoisation purposes. *)
+module Pair_tbl = Hashtbl.Make (struct
+  type nonrec t = t * t
+
+  let equal (a1, b1) (a2, b2) = a1 == a2 && b1 == b2
+  let hash (a, b) = (Hashtbl.hash a * 65599) + Hashtbl.hash b
+end)
+
+let orda_cache : int Pair_tbl.t = Pair_tbl.create 4096
+
+let rec orda_memo t1 t2 =
+  if t1 == t2 then 0
+  else
+    match Pair_tbl.find_opt orda_cache (t1, t2) with
+    | Some c -> c
+    | None ->
+        let c =
+          match (t1, t2) with
+          | Var _, Var _ -> Stdlib.compare t1 t2
+          | Const (n1, ty1), Const (n2, ty2) ->
+              let c = Stdlib.compare n1 n2 in
+              if c <> 0 then c else Ty.compare ty1 ty2
+          | Comb (f1, x1), Comb (f2, x2) ->
+              let c = orda_memo f1 f2 in
+              if c <> 0 then c else orda_memo x1 x2
+          | Abs ((Var (_, ty1) as v1), b1), Abs ((Var (_, ty2) as v2), b2)
+            ->
+              let c = Ty.compare ty1 ty2 in
+              if c <> 0 then c
+              else if v1 = v2 then orda_memo b1 b2
+              else orda_plain [ (v1, v2) ] b1 b2
+          | Abs _, Abs _ -> assert false
+          | Var _, _ -> -1
+          | _, Var _ -> 1
+          | Const _, _ -> -1
+          | _, Const _ -> 1
+          | Comb _, _ -> -1
+          | _, Comb _ -> 1
+        in
+        if Pair_tbl.length orda_cache > 2_000_000 then
+          Pair_tbl.reset orda_cache;
+        Pair_tbl.add orda_cache (t1, t2) c;
+        c
+
+and orda_plain env t1 t2 =
+  if t1 == t2 && List.for_all (fun (a, b) -> a == b) env then 0
+  else
+    match (t1, t2) with
+    | Var _, Var _ -> ord_var env t1 t2
+    | Const (n1, ty1), Const (n2, ty2) ->
+        let c = Stdlib.compare n1 n2 in
+        if c <> 0 then c else Ty.compare ty1 ty2
+    | Comb (f1, x1), Comb (f2, x2) ->
+        let c = orda_plain env f1 f2 in
+        if c <> 0 then c else orda_plain env x1 x2
+    | Abs ((Var (_, ty1) as v1), b1), Abs ((Var (_, ty2) as v2), b2) ->
+        let c = Ty.compare ty1 ty2 in
+        if c <> 0 then c else orda_plain ((v1, v2) :: env) b1 b2
+    | Abs _, Abs _ -> assert false
+    | Var _, _ -> -1
+    | _, Var _ -> 1
+    | Const _, _ -> -1
+    | _, Const _ -> 1
+    | Comb _, _ -> -1
+    | _, Comb _ -> 1
+
+and ord_var env v1 v2 =
+  (* Walk the binder environment: a bound variable compares equal exactly
+     to its partner at the same binding depth. *)
+  match env with
+  | [] -> Stdlib.compare v1 v2
+  | (b1, b2) :: rest ->
+      let e1 = v1 = b1 and e2 = v2 = b2 in
+      if e1 && e2 then 0
+      else if e1 then -1
+      else if e2 then 1
+      else ord_var rest v1 v2
+
+let alphaorder t1 t2 = orda_memo t1 t2
+let aconv t1 t2 = alphaorder t1 t2 = 0
+
+(* ------------------------------------------------------------------ *)
+(* Substitution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_subst_types theta =
+  List.iter
+    (fun (v, t) ->
+      match v with
+      | Var (_, ty) ->
+          if not (Ty.equal ty (type_of t)) then
+            failwith "Term.vsubst: ill-typed binding"
+      | _ -> failwith "Term.vsubst: domain element is not a variable")
+    theta
+
+let domain_mask theta =
+  List.fold_left
+    (fun acc (dv, _) ->
+      match dv with
+      | Var (n, ty) -> acc lor var_bit n ty
+      | _ -> acc)
+    0 theta
+
+(* The recursive worker carries a memo table valid for the current
+   substitution [theta]; entering a binder that forces filtering or
+   renaming switches to a fresh table for that subtree.  [dmask] is the
+   bloom mask of the substitution's domain: subtrees whose free-variable
+   mask is disjoint from it are returned unchanged in O(1). *)
+let rec vsubst_go dmask theta memo tm =
+  if free_mask tm land dmask = 0 then tm
+  else
+    match Phys_tbl.find_opt memo tm with
+    | Some r -> r
+    | None ->
+        let r =
+          match tm with
+        | Var _ -> (
+            match List.find_opt (fun (v, _) -> v = tm) theta with
+            | Some (_, t) -> t
+            | None -> tm)
+        | Const _ -> tm
+        | Comb (f, x) ->
+            let f' = vsubst_go dmask theta memo f in
+            let x' = vsubst_go dmask theta memo x in
+            if f' == f && x' == x then tm else Comb (f', x')
+        | Abs (v, body) ->
+            (* Prune via the O(1) bloom mask: substituting for a variable
+               that (definitely) does not occur below is a no-op, and the
+               mask never forces the exact free-variable sets of huge
+               circuit-term spines. *)
+            let theta' =
+              List.filter
+                (fun (dv, t) -> dv <> v && t <> dv && may_be_free dv body)
+                theta
+            in
+            if theta' = [] then tm
+            else if
+              List.exists
+                (fun (_, t) -> may_be_free v t && free_in v t)
+                theta'
+            then begin
+              (* Capture: rename the binder before substituting. *)
+              let avoid =
+                List.concat_map (fun (_, t) -> frees t) theta' @ frees body
+              in
+              let v' = variant avoid v in
+              let body' =
+                vsubst_go (domain_mask [ (v, v') ]) [ (v, v') ]
+                  (Phys_tbl.create 16) body
+              in
+              let body'' =
+                vsubst_go (domain_mask theta') theta' (Phys_tbl.create 16)
+                  body'
+              in
+              Abs (v', body'')
+            end
+            else if List.length theta' = List.length theta then begin
+              let body' = vsubst_go dmask theta memo body in
+              if body' == body then tm else Abs (v, body')
+            end
+            else begin
+              let body' =
+                vsubst_go (domain_mask theta') theta' (Phys_tbl.create 16)
+                  body
+              in
+              if body' == body then tm else Abs (v, body')
+            end
+        in
+        Phys_tbl.add memo tm r;
+        r
+
+let vsubst theta tm =
+  if theta = [] then tm
+  else begin
+    check_subst_types theta;
+    vsubst_go (domain_mask theta) theta (Phys_tbl.create 256) tm
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Type instantiation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Clash of t
+
+let rec inst_go env tyin tm =
+  match tm with
+  | Var (n, ty) ->
+      let ty' = Ty.subst tyin ty in
+      let tm' = if Ty.equal ty ty' then tm else Var (n, ty') in
+      (* If a bound variable's image collides with the image of a distinct
+         variable we must rename; detect this via the environment. *)
+      (match List.assoc_opt tm' env with
+      | Some orig when orig <> tm -> raise (Clash tm')
+      | _ -> ());
+      tm'
+  | Const (n, ty) ->
+      let ty' = Ty.subst tyin ty in
+      if Ty.equal ty ty' then tm else Const (n, ty')
+  | Comb (f, x) ->
+      let f' = inst_go env tyin f in
+      let x' = inst_go env tyin x in
+      if f' == f && x' == x then tm else Comb (f', x')
+  | Abs (v, body) -> (
+      let v' = inst_go [] tyin v in
+      let env' = (v', v) :: env in
+      try
+        let body' = inst_go env' tyin body in
+        if v' == v && body' == body then tm else Abs (v', body')
+      with Clash w' when w' = v' ->
+        (* Rename the binder to avoid the collision and retry. *)
+        let ifrees = List.map (inst_go [] tyin) (frees body) in
+        let v'' = variant ifrees v' in
+        let n'', _ = dest_var v'' in
+        let z = Var (n'', snd (dest_var v)) in
+        let body' = vsubst [ (v, z) ] body in
+        inst_go env tyin (Abs (z, body')))
+
+let inst tyin tm = if tyin = [] then tm else inst_go [] tyin tm
+
+(* ------------------------------------------------------------------ *)
+(* First-order matching                                                *)
+(* ------------------------------------------------------------------ *)
+
+let term_match lconsts pat tm =
+  let rec go env pat tm ((insts, tyin) as acc) =
+    match (pat, tm) with
+    | Var (_, vty), _ when not (List.mem_assoc pat env) ->
+        if List.exists (fun c -> c = pat) lconsts then
+          if tm = pat then acc
+          else failwith "Term.term_match: local constant mismatch"
+        else begin
+          (* The matched term may not mention term-side bound variables:
+             they would escape their binders. *)
+          List.iter
+            (fun (_, bv) ->
+              if free_in bv tm then
+                failwith "Term.term_match: bound variable would escape")
+            env;
+          match List.assoc_opt pat insts with
+          | Some prev ->
+              if aconv prev tm then acc
+              else failwith "Term.term_match: inconsistent instantiation"
+          | None ->
+              let tyin' = Ty.match_ vty (type_of tm) tyin in
+              ((pat, tm) :: insts, tyin')
+        end
+    | Var _, _ -> (
+        match List.assoc_opt pat env with
+        | Some bv when bv = tm -> acc
+        | _ -> failwith "Term.term_match: bound variable mismatch")
+    | Const (n1, ty1), Const (n2, ty2) when n1 = n2 ->
+        (insts, Ty.match_ ty1 ty2 tyin)
+    | Comb (f1, x1), Comb (f2, x2) -> go env x1 x2 (go env f1 f2 acc)
+    | Abs ((Var (_, ty1) as v1), b1), Abs ((Var (_, ty2) as v2), b2) ->
+        let tyin' = Ty.match_ ty1 ty2 tyin in
+        go ((v1, v2) :: env) b1 b2 (insts, tyin')
+    | _ -> failwith "Term.term_match: structural mismatch"
+  in
+  let insts, tyin = go [] pat tm ([], []) in
+  let theta =
+    List.map (fun (v, t) -> (inst tyin v, t)) insts
+  in
+  (theta, tyin)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_budget = ref 20_000
+
+let rec pp ppf tm =
+  decr pp_budget;
+  if !pp_budget < 0 then Format.pp_print_string ppf "..."
+  else
+  match tm with
+  | Var (n, _) -> Format.pp_print_string ppf n
+  | Const (n, _) -> Format.pp_print_string ppf n
+  | Comb (Comb (Const ("=", _), l), r) ->
+      Format.fprintf ppf "(%a = %a)" pp l pp r
+  | Comb (Comb (Const ("/\\", _), l), r) ->
+      Format.fprintf ppf "(%a /\\ %a)" pp l pp r
+  | Comb (Comb (Const ("==>", _), l), r) ->
+      Format.fprintf ppf "(%a ==> %a)" pp l pp r
+  | Comb (Const ("!", _), Abs (v, b)) ->
+      Format.fprintf ppf "(!%a. %a)" pp v pp b
+  | Comb (Comb (Const (",", _), l), r) ->
+      Format.fprintf ppf "(%a, %a)" pp l pp r
+  | Comb (f, x) -> Format.fprintf ppf "(%a %a)" pp f pp x
+  | Abs (v, b) -> Format.fprintf ppf "(\\%a. %a)" pp v pp b
+
+let to_string tm = Format.asprintf "%a" pp tm
+
+let pp ppf tm =
+  pp_budget := 20_000;
+  pp ppf tm
+
+let to_string tm =
+  pp_budget := 20_000;
+  to_string tm

@@ -1,0 +1,113 @@
+(** Terms of the higher-order logic.
+
+    Terms are simply-typed lambda-terms with named variables.  The kernel
+    invariantly produces well-typed terms; the smart constructors here
+    check types and raise [Failure] on ill-typed combinations.
+
+    Performance note: the HASH synthesis procedure manipulates terms whose
+    tree representation can be exponentially larger than their dag
+    representation (fully inlined circuit let-chains).  All potentially
+    super-linear operations ([vsubst], [inst], [aconv], free-variable
+    computation) are therefore memoised on physical node identity, so their
+    cost is linear in the number of {e distinct} subterm nodes. *)
+
+type t = private
+  | Var of string * Ty.t
+  | Const of string * Ty.t
+  | Comb of t * t
+  | Abs of t * t  (** [Abs (v, body)] where [v] is always a [Var] *)
+
+(** {1 Constructors} *)
+
+val mk_var : string -> Ty.t -> t
+val mk_const_raw : string -> Ty.t -> t
+(** Build a constant with exactly the given type.  The kernel checks
+    constants against the signature; this raw constructor is used by the
+    kernel itself and by the printer tests. *)
+
+val mk_comb : t -> t -> t
+(** @raise Failure if the operator is not a function type matching the
+    operand. *)
+
+val mk_abs : t -> t -> t
+(** [mk_abs v body].  @raise Failure if [v] is not a variable. *)
+
+val list_mk_comb : t -> t list -> t
+val list_mk_abs : t list -> t -> t
+
+val mk_eq : t -> t -> t
+(** [mk_eq l r] is the equation [l = r].
+    @raise Failure if the two sides have different types. *)
+
+(** {1 Destructors and tests} *)
+
+val dest_var : t -> string * Ty.t
+val dest_const : t -> string * Ty.t
+val dest_comb : t -> t * t
+val dest_abs : t -> t * t
+val dest_eq : t -> t * t
+val is_var : t -> bool
+val is_const : t -> bool
+val is_comb : t -> bool
+val is_abs : t -> bool
+val is_eq : t -> bool
+
+val rator : t -> t
+val rand : t -> t
+
+val strip_comb : t -> t * t list
+(** [strip_comb (f a b c)] is [(f, [a; b; c])]. *)
+
+val type_of : t -> Ty.t
+
+(** {1 Free variables} *)
+
+val frees : t -> t list
+(** The free variables of a term (memoised; order unspecified, no
+    duplicates). *)
+
+val free_in : t -> t -> bool
+(** [free_in v tm]: does variable [v] occur free in [tm]? *)
+
+val variant : t list -> t -> t
+(** [variant avoid v] is a variable like [v] whose name clashes with none
+    of [avoid] (primes are appended as needed). *)
+
+(** {1 Substitution and instantiation} *)
+
+val vsubst : (t * t) list -> t -> t
+(** [vsubst [(v1,t1); ...] tm] simultaneously substitutes [ti] for free
+    occurrences of variable [vi], renaming bound variables only where
+    capture would occur.  Bindings must be type-correct.
+    Memoised per call on physical identity. *)
+
+val inst : (string * Ty.t) list -> t -> t
+(** Instantiate type variables throughout a term, renaming term variables
+    where the instantiation identifies previously distinct variables. *)
+
+(** {1 Alpha conversion} *)
+
+val alphaorder : t -> t -> int
+(** Total order on terms up to alpha-equivalence. *)
+
+val aconv : t -> t -> bool
+(** Alpha-equivalence, with a fast path for physically-equal subterms. *)
+
+(** {1 First-order matching} *)
+
+val term_match :
+  t list -> t -> t -> (t * t) list * (string * Ty.t) list
+(** [term_match consts pat tm] finds [(theta, tytheta)] such that
+    [vsubst theta (inst tytheta pat)] is alpha-equivalent to [tm].  Free
+    variables of [pat] listed in [consts] are treated as fixed (they must
+    match themselves).  The match is first-order: pattern variables may
+    not be applied to bound variables.
+    @raise Failure if no match exists. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Hash table keyed on physical node identity — used by conversion layers
+    to memoise work on dag-shared terms. *)
+module Phys_tbl : Hashtbl.S with type key = t
+

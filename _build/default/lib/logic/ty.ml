@@ -1,0 +1,71 @@
+type t =
+  | Tyvar of string
+  | Tyapp of string * t list
+
+let bool = Tyapp ("bool", [])
+let num = Tyapp ("num", [])
+let alpha = Tyvar "a"
+let beta = Tyvar "b"
+let gamma = Tyvar "c"
+let delta = Tyvar "d"
+let fn a b = Tyapp ("fun", [ a; b ])
+let prod a b = Tyapp ("prod", [ a; b ])
+let list a = Tyapp ("list", [ a ])
+let bv = list bool
+
+let dest_fn = function
+  | Tyapp ("fun", [ a; b ]) -> (a, b)
+  | _ -> failwith "Ty.dest_fn: not a function type"
+
+let dest_prod = function
+  | Tyapp ("prod", [ a; b ]) -> (a, b)
+  | _ -> failwith "Ty.dest_prod: not a product type"
+
+let is_fn = function Tyapp ("fun", [ _; _ ]) -> true | _ -> false
+
+let rec tyvars_acc acc = function
+  | Tyvar v -> if List.mem v acc then acc else v :: acc
+  | Tyapp (_, args) -> List.fold_left tyvars_acc acc args
+
+let tyvars ty = List.rev (tyvars_acc [] ty)
+
+let rec subst theta ty =
+  match ty with
+  | Tyvar v -> ( match List.assoc_opt v theta with Some t -> t | None -> ty)
+  | Tyapp (op, args) ->
+      let args' = List.map (subst theta) args in
+      if List.for_all2 (fun a b -> a == b) args args' then ty
+      else Tyapp (op, args')
+
+let rec match_ pat concrete acc =
+  match (pat, concrete) with
+  | Tyvar v, _ -> (
+      match List.assoc_opt v acc with
+      | Some t ->
+          if t = concrete then acc else failwith "Ty.match_: clashing binding"
+      | None -> (v, concrete) :: acc)
+  | Tyapp (op1, args1), Tyapp (op2, args2)
+    when op1 = op2 && List.length args1 = List.length args2 ->
+      List.fold_left2 (fun acc p c -> match_ p c acc) acc args1 args2
+  | _ -> failwith "Ty.match_: structural mismatch"
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let rec pp ppf ty =
+  match ty with
+  | Tyvar v -> Format.fprintf ppf ":%s" v
+  | Tyapp ("bool", []) -> Format.pp_print_string ppf "bool"
+  | Tyapp ("num", []) -> Format.pp_print_string ppf "num"
+  | Tyapp ("fun", [ a; b ]) -> Format.fprintf ppf "(%a -> %a)" pp a pp b
+  | Tyapp ("prod", [ a; b ]) -> Format.fprintf ppf "(%a # %a)" pp a pp b
+  | Tyapp ("list", [ a ]) -> Format.fprintf ppf "(%a)list" pp a
+  | Tyapp (op, []) -> Format.pp_print_string ppf op
+  | Tyapp (op, args) ->
+      Format.fprintf ppf "(%a)%s"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           pp)
+        args op
+
+let to_string ty = Format.asprintf "%a" pp ty

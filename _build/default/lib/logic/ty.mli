@@ -1,0 +1,80 @@
+(** Types of the higher-order logic.
+
+    A type is either a type variable or the application of a declared type
+    operator to argument types.  The kernel (module {!Kernel}) maintains the
+    signature of declared type operators; this module only provides the raw
+    syntax and the operations on it. *)
+
+type t =
+  | Tyvar of string  (** a type variable, e.g. [:a] *)
+  | Tyapp of string * t list
+      (** a type operator applied to arguments, e.g. [:(bool)list] *)
+
+(** {1 Built-in type operators}
+
+    These operators are part of the initial signature installed by
+    {!Kernel}; they are provided here as smart constructors for
+    convenience. *)
+
+val bool : t
+(** The type of propositions. *)
+
+val num : t
+(** The type of natural numbers (time, in the Automata theory). *)
+
+val alpha : t
+(** The type variable [:a]. *)
+
+val beta : t
+(** The type variable [:b]. *)
+
+val gamma : t
+(** The type variable [:c]. *)
+
+val delta : t
+(** The type variable [:d]. *)
+
+val fn : t -> t -> t
+(** [fn a b] is the function type [:a -> b]. *)
+
+val prod : t -> t -> t
+(** [prod a b] is the product type [:a # b]. *)
+
+val list : t -> t
+(** [list a] is the type [:(a)list]. *)
+
+val bv : t
+(** [bv] is [:(bool)list], the type of words (bit vectors, LSB first). *)
+
+(** {1 Destructors} *)
+
+val dest_fn : t -> t * t
+(** Destruct a function type.  @raise Failure if not a function type. *)
+
+val dest_prod : t -> t * t
+(** Destruct a product type.  @raise Failure if not a product type. *)
+
+val is_fn : t -> bool
+
+(** {1 Operations} *)
+
+val tyvars : t -> string list
+(** The type variables occurring in a type, each listed once. *)
+
+val subst : (string * t) list -> t -> t
+(** [subst theta ty] replaces every type variable [v] bound in [theta] by
+    its image.  Unbound variables are unchanged. *)
+
+val match_ : t -> t -> (string * t) list -> (string * t) list
+(** [match_ pattern concrete acc] extends the type-variable instantiation
+    [acc] so that [subst result pattern = concrete].
+    @raise Failure if no such instantiation exists. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print a type, e.g. [:(bool # num) -> bool]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/netlist/bitblast.ml: Array Circuit List Printf

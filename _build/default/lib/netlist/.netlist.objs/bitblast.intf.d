@@ -1,0 +1,1 @@
+lib/netlist/bitblast.mli: Circuit

@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Circuit List Printf Stdlib

@@ -1,0 +1,124 @@
+open Circuit
+
+(* Per-signal expansion: a single bit maps to [| s |], an n-bit word to
+   its LSB-first bit vector. *)
+
+let expand (c : Circuit.t) : Circuit.t =
+  let b = create (c.name ^ "_bits") in
+  let map : signal array array = Array.make (n_signals c) [||] in
+  (* inputs in original order *)
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Input _ -> (
+          match c.widths.(s) with
+          | B -> map.(s) <- [| input b B |]
+          | W n -> map.(s) <- Array.init n (fun _ -> input b B))
+      | Reg_out _ | Gate _ -> ())
+    c.drivers;
+  (* registers: one bit register per flip-flop *)
+  let reg_bits =
+    Array.map
+      (fun r ->
+        match r.init with
+        | Bit v -> [| reg b ~init:(Bit v) B |]
+        | Word (w, v) ->
+            Array.init w (fun k ->
+                reg b ~init:(Bit ((v lsr k) land 1 = 1)) B))
+      c.registers
+  in
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Reg_out r -> map.(s) <- reg_bits.(r)
+      | Input _ | Gate _ -> ())
+    c.drivers;
+  (* gates in topological order *)
+  let full_adder x y cin =
+    let xy = xor_ b x y in
+    let sum = xor_ b xy cin in
+    let carry = or_ b (and_ b x y) (and_ b xy cin) in
+    (sum, carry)
+  in
+  let and_tree bits =
+    match Array.to_list bits with
+    | [] -> constb b true
+    | first :: rest -> List.fold_left (and_ b) first rest
+  in
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Input _ | Reg_out _ -> ()
+      | Gate (op, args) ->
+          let argv = List.map (fun a -> map.(a)) args in
+          let bit1 v = v.(0) in
+          let result =
+            match (op, argv) with
+            | Not, [ x ] -> [| not_ b (bit1 x) |]
+            | Buf, [ x ] -> [| bit1 x |]
+            | And, [ x; y ] -> [| and_ b (bit1 x) (bit1 y) |]
+            | Or, [ x; y ] -> [| or_ b (bit1 x) (bit1 y) |]
+            | Nand, [ x; y ] -> [| not_ b (and_ b (bit1 x) (bit1 y)) |]
+            | Nor, [ x; y ] -> [| not_ b (or_ b (bit1 x) (bit1 y)) |]
+            | Xor, [ x; y ] -> [| xor_ b (bit1 x) (bit1 y) |]
+            | Xnor, [ x; y ] -> [| xnor_ b (bit1 x) (bit1 y) |]
+            | Mux, [ s_; x; y ] -> [| mux b ~sel:(bit1 s_) (bit1 x) (bit1 y) |]
+            | Constb v, [] -> [| constb b v |]
+            | Winc, [ x ] ->
+                let n = Array.length x in
+                let out = Array.make n 0 in
+                let carry = ref (constb b true) in
+                for k = 0 to n - 1 do
+                  out.(k) <- xor_ b x.(k) !carry;
+                  if k < n - 1 then carry := and_ b x.(k) !carry
+                done;
+                out
+            | Wadd, [ x; y ] ->
+                let n = Array.length x in
+                let out = Array.make n 0 in
+                let carry = ref (constb b false) in
+                for k = 0 to n - 1 do
+                  let sum, cout = full_adder x.(k) y.(k) !carry in
+                  out.(k) <- sum;
+                  carry := cout
+                done;
+                out
+            | Weq, [ x; y ] ->
+                let n = Array.length x in
+                [| and_tree (Array.init n (fun k -> xnor_ b x.(k) y.(k))) |]
+            | Wmux, [ s_; x; y ] ->
+                let sel = bit1 s_ in
+                Array.init (Array.length x) (fun k ->
+                    mux b ~sel x.(k) y.(k))
+            | Wnot, [ x ] -> Array.map (not_ b) x
+            | Wand, [ x; y ] ->
+                Array.init (Array.length x) (fun k -> and_ b x.(k) y.(k))
+            | Wor, [ x; y ] ->
+                Array.init (Array.length x) (fun k -> or_ b x.(k) y.(k))
+            | Wxor, [ x; y ] ->
+                Array.init (Array.length x) (fun k -> xor_ b x.(k) y.(k))
+            | Wconst (n, v), [] ->
+                Array.init n (fun k -> constb b ((v lsr k) land 1 = 1))
+            | _ -> failwith "Bitblast: malformed gate"
+          in
+          map.(s) <- result)
+    (topo_order c);
+  (* register data connections *)
+  Array.iteri
+    (fun r { data; _ } ->
+      let dbits = map.(data) in
+      Array.iteri
+        (fun k rs -> connect_reg b rs ~data:dbits.(k))
+        reg_bits.(r))
+    c.registers;
+  (* outputs *)
+  Array.iter
+    (fun (name, s) ->
+      let bits = map.(s) in
+      if Array.length bits = 1 then output b name bits.(0)
+      else
+        Array.iteri
+          (fun k bit -> output b (Printf.sprintf "%s.%d" name k) bit)
+          bits)
+    c.outputs;
+  finish b

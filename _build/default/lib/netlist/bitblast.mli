@@ -1,0 +1,14 @@
+(** Bit-blasting: expand an RT-level netlist into a pure gate-level
+    netlist (every signal a single bit).
+
+    Word signals become LSB-first vectors of bit signals; word operators
+    become their standard gate-level expansions (ripple-carry increment
+    and addition, XNOR/AND-tree equality, per-bit multiplexers).  Word
+    registers become one flip-flop per bit.  Outputs are suffixed with
+    [.k] for bit [k] of a word output.
+
+    The expansion preserves behaviour cycle-for-cycle (tested by
+    co-simulation property tests). *)
+
+val expand : Circuit.t -> Circuit.t
+(** @raise Failure only on invalid input netlists. *)

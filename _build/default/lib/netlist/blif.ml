@@ -1,0 +1,66 @@
+open Circuit
+
+let sig_name c s =
+  match c.drivers.(s) with
+  | Input i -> Printf.sprintf "pi%d" i
+  | Reg_out r -> Printf.sprintf "lq%d" r
+  | Gate (_, _) -> Printf.sprintf "n%d" s
+
+(* Truth-table lines for one gate, in BLIF .names conventions. *)
+let gate_table op =
+  match op with
+  | Buf -> [ "1 1" ]
+  | Not -> [ "0 1" ]
+  | And -> [ "11 1" ]
+  | Or -> [ "1- 1"; "-1 1" ]
+  | Nand -> [ "0- 1"; "-0 1" ]
+  | Nor -> [ "00 1" ]
+  | Xor -> [ "10 1"; "01 1" ]
+  | Xnor -> [ "11 1"; "00 1" ]
+  | Mux -> [ "11- 1"; "0-1 1" ]
+  | Constb true -> [ "1" ]
+  | Constb false -> []
+  | Winc | Wadd | Weq | Wmux | Wnot | Wand | Wor | Wxor | Wconst _ ->
+      failwith "Blif: word operator (bit-blast first)"
+
+let to_string c =
+  Array.iter
+    (function B -> () | W _ -> failwith "Blif: word input (bit-blast first)")
+    c.input_widths;
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr ".model %s\n" c.name;
+  pr ".inputs";
+  Array.iteri (fun i _ -> pr " pi%d" i) c.input_widths;
+  pr "\n.outputs";
+  Array.iter (fun (n, _) -> pr " %s" n) c.outputs;
+  pr "\n";
+  Array.iteri
+    (fun r (reg : register) ->
+      let init =
+        match reg.init with
+        | Bit b -> if b then 1 else 0
+        | Word _ -> failwith "Blif: word register (bit-blast first)"
+      in
+      pr ".latch %s lq%d re clk %d\n" (sig_name c reg.data) r init)
+    c.registers;
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Gate (op, args) ->
+          pr ".names";
+          List.iter (fun a -> pr " %s" (sig_name c a)) args;
+          pr " %s\n" (sig_name c s);
+          List.iter (fun line -> pr "%s\n" line) (gate_table op)
+      | Input _ | Reg_out _ -> ())
+    (topo_order c);
+  (* output drivers may be inputs or latches: emit buffers *)
+  Array.iter
+    (fun (n, s) ->
+      let src = sig_name c s in
+      if src <> n then pr ".names %s %s\n1 1\n" src n)
+    c.outputs;
+  pr ".end\n";
+  Buffer.contents buf
+
+let output oc c = Stdlib.output_string oc (to_string c)

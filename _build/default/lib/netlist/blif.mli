@@ -1,0 +1,10 @@
+(** BLIF export for bit-level netlists (the interchange format of the
+    SIS era — "as intermediate formats HDLs are used", paper §I).
+
+    Word-level circuits must be bit-blasted first.  Latches are emitted
+    with their initial values; gates become [.names] truth tables. *)
+
+val to_string : Circuit.t -> string
+(** @raise Failure on word-level circuits. *)
+
+val output : out_channel -> Circuit.t -> unit

@@ -1,0 +1,270 @@
+type signal = int
+type width = B | W of int
+type value = Bit of bool | Word of int * int
+
+type op =
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Buf
+  | Mux
+  | Constb of bool
+  | Winc
+  | Wadd
+  | Weq
+  | Wmux
+  | Wnot
+  | Wand
+  | Wor
+  | Wxor
+  | Wconst of int * int
+
+type driver =
+  | Input of int
+  | Reg_out of int
+  | Gate of op * signal list
+
+type register = { data : signal; init : value }
+
+type t = {
+  name : string;
+  input_widths : width array;
+  drivers : driver array;
+  widths : width array;
+  registers : register array;
+  outputs : (string * signal) array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  bname : string;
+  mutable binputs : width list;  (* reversed *)
+  mutable n_binputs : int;
+  mutable bdrivers : driver list;  (* reversed *)
+  bwidth_tbl : (signal, width) Hashtbl.t;
+  bregs : (int, signal option ref * value * width) Hashtbl.t;
+  mutable n_bregs : int;
+  mutable bouts : (string * signal) list;  (* reversed *)
+  mutable count : int;
+}
+
+let create name =
+  { bname = name; binputs = []; n_binputs = 0; bdrivers = [];
+    bwidth_tbl = Hashtbl.create 64; bregs = Hashtbl.create 16;
+    n_bregs = 0; bouts = []; count = 0 }
+
+let push b d w =
+  let id = b.count in
+  b.bdrivers <- d :: b.bdrivers;
+  Hashtbl.replace b.bwidth_tbl id w;
+  b.count <- id + 1;
+  id
+
+let input b w =
+  let idx = b.n_binputs in
+  b.binputs <- w :: b.binputs;
+  b.n_binputs <- idx + 1;
+  push b (Input idx) w
+
+let width_of_value = function Bit _ -> B | Word (w, _) -> W w
+
+let reg b ~init w =
+  if width_of_value init <> w then failwith "Circuit.reg: init width mismatch";
+  let ridx = b.n_bregs in
+  Hashtbl.replace b.bregs ridx (ref None, init, w);
+  b.n_bregs <- ridx + 1;
+  push b (Reg_out ridx) w
+
+let reg_index_of b r =
+  match Hashtbl.find_opt b.bwidth_tbl r with
+  | None -> failwith "Circuit.connect_reg: unknown signal"
+  | Some _ -> (
+      match List.nth b.bdrivers (b.count - 1 - r) with
+      | Reg_out ridx -> ridx
+      | _ -> failwith "Circuit.connect_reg: not a register output")
+
+let connect_reg b r ~data =
+  let ridx = reg_index_of b r in
+  let slot, _, _ = Hashtbl.find b.bregs ridx in
+  if !slot <> None then failwith "Circuit.connect_reg: already connected";
+  slot := Some data
+
+let sig_width b s = Hashtbl.find b.bwidth_tbl s
+
+let op_signature op arg_widths =
+  (* returns the result width; raises on mismatch *)
+  let all_b () = List.for_all (fun w -> w = B) arg_widths in
+  let word2 () =
+    match arg_widths with
+    | [ W n; W m ] when n = m -> n
+    | _ -> failwith "Circuit: word operator width mismatch"
+  in
+  match (op, arg_widths) with
+  | Not, [ B ] | Buf, [ B ] -> B
+  | (And | Or | Nand | Nor | Xor | Xnor), [ B; B ] -> B
+  | Mux, [ B; B; B ] -> B
+  | Constb _, [] -> B
+  | Winc, [ W n ] -> W n
+  | Wadd, _ -> W (word2 ())
+  | Weq, _ ->
+      ignore (word2 ());
+      B
+  | Wmux, [ B; W n; W m ] when n = m -> W n
+  | Wnot, [ W n ] -> W n
+  | (Wand | Wor | Wxor), _ -> W (word2 ())
+  | Wconst (n, v), [] ->
+      if v < 0 || (n < 63 && v >= 1 lsl n) then
+        failwith "Circuit: Wconst out of range"
+      else W n
+  | _ ->
+      ignore (all_b ());
+      failwith "Circuit: bad operator arity/width"
+
+let gate b op args =
+  let ws = List.map (sig_width b) args in
+  let w = op_signature op ws in
+  push b (Gate (op, args)) w
+
+let output b name s = b.bouts <- (name, s) :: b.bouts
+
+let not_ b s = gate b Not [ s ]
+let and_ b s1 s2 = gate b And [ s1; s2 ]
+let or_ b s1 s2 = gate b Or [ s1; s2 ]
+let xor_ b s1 s2 = gate b Xor [ s1; s2 ]
+let xnor_ b s1 s2 = gate b Xnor [ s1; s2 ]
+let mux b ~sel s1 s2 = gate b Mux [ sel; s1; s2 ]
+let constb b v = gate b (Constb v) []
+
+(* ------------------------------------------------------------------ *)
+(* Validation and freezing                                             *)
+(* ------------------------------------------------------------------ *)
+
+let topo_order_arrays drivers =
+  let n = Array.length drivers in
+  let state = Array.make n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let order = ref [] in
+  let rec visit s =
+    match state.(s) with
+    | 2 -> ()
+    | 1 -> failwith "Circuit: combinational cycle"
+    | _ -> (
+        state.(s) <- 1;
+        (match drivers.(s) with
+        | Input _ | Reg_out _ -> ()
+        | Gate (_, args) -> List.iter visit args);
+        state.(s) <- 2;
+        match drivers.(s) with
+        | Gate (_, _) -> order := s :: !order
+        | Input _ | Reg_out _ -> ())
+  in
+  for s = 0 to n - 1 do
+    visit s
+  done;
+  List.rev !order
+
+let finish b =
+  let registers =
+    Array.init b.n_bregs (fun ridx ->
+        let slot, init, _w = Hashtbl.find b.bregs ridx in
+        match !slot with
+        | Some data -> { data; init }
+        | None -> failwith "Circuit.finish: unconnected register")
+  in
+  let drivers = Array.of_list (List.rev b.bdrivers) in
+  ignore (topo_order_arrays drivers);
+  let widths =
+    Array.init (Array.length drivers) (fun s -> Hashtbl.find b.bwidth_tbl s)
+  in
+  {
+    name = b.bname;
+    input_widths = Array.of_list (List.rev b.binputs);
+    drivers;
+    widths;
+    registers;
+    outputs = Array.of_list (List.rev b.bouts);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let width_of c s = c.widths.(s)
+let n_signals c = Array.length c.drivers
+let n_inputs c = Array.length c.input_widths
+
+let wordsize = function B -> 1 | W n -> n
+
+let gate_cost c op args =
+  (* gate count of the bit-level expansion, for paper-style statistics *)
+  match op with
+  | Not | And | Or | Nand | Nor | Xor | Xnor | Buf -> 1
+  | Mux -> 3
+  | Constb _ -> 0
+  | Winc -> (
+      match args with [ a ] -> 2 * wordsize c.widths.(a) | _ -> 0)
+  | Wadd -> (
+      match args with [ a; _ ] -> 5 * wordsize c.widths.(a) | _ -> 0)
+  | Weq -> (
+      match args with
+      | [ a; _ ] -> (2 * wordsize c.widths.(a)) - 1
+      | _ -> 0)
+  | Wmux -> ( match args with [ _; a; _ ] -> 3 * wordsize c.widths.(a) | _ -> 0)
+  | Wnot -> ( match args with [ a ] -> wordsize c.widths.(a) | _ -> 0)
+  | Wand | Wor | Wxor -> (
+      match args with [ a; _ ] -> wordsize c.widths.(a) | _ -> 0)
+  | Wconst _ -> 0
+
+let gate_count c =
+  Array.fold_left
+    (fun acc d ->
+      match d with Gate (op, args) -> acc + gate_cost c op args | _ -> acc)
+    0 c.drivers
+
+let flipflop_count c =
+  Array.fold_left
+    (fun acc r ->
+      acc + match r.init with Bit _ -> 1 | Word (w, _) -> w)
+    0 c.registers
+
+let topo_order c = topo_order_arrays c.drivers
+
+let fanout_map c =
+  let n = n_signals c in
+  let fan = Array.make n [] in
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Gate (_, args) -> List.iter (fun a -> fan.(a) <- s :: fan.(a)) args
+      | Input _ | Reg_out _ -> ())
+    c.drivers;
+  fan
+
+let validate c =
+  ignore (topo_order c);
+  Array.iteri
+    (fun _ r ->
+      let wreg = width_of_value r.init in
+      if c.widths.(r.data) <> wreg then
+        failwith "Circuit.validate: register data width mismatch")
+    c.registers;
+  Array.iter
+    (fun (_, s) ->
+      if s < 0 || s >= n_signals c then
+        failwith "Circuit.validate: dangling output")
+    c.outputs
+
+let pp_stats ppf c =
+  Format.fprintf ppf "%s: %d inputs, %d outputs, %d flipflops, %d gates"
+    c.name (n_inputs c)
+    (Array.length c.outputs)
+    (flipflop_count c) (gate_count c)
+
+let builder_width = sig_width

@@ -1,0 +1,125 @@
+(** Synchronous netlists, at gate level (single-bit signals) and RT level
+    (word signals).
+
+    A circuit is a directed graph of signals.  Every signal is produced by
+    a driver: a primary input, a register output, or a gate (combinational
+    operator over other signals).  Registers hold an initial value and are
+    fed by a data signal; primary outputs name signals.
+
+    The combinational part must be acyclic (checked by {!validate});
+    cycles through registers are of course allowed. *)
+
+type signal = int
+(** Signal identifier (index into the circuit's driver table). *)
+
+type width = B | W of int
+(** Single bit, or an [n]-bit word. *)
+
+type value = Bit of bool | Word of int * int
+(** A bit, or [Word (width, v)] with [0 <= v < 2^width].  Words are
+    interpreted LSB-first when bit-blasted. *)
+
+type op =
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Buf
+  | Mux  (** [Mux (sel, a, b)]: [a] when [sel] is true, else [b] *)
+  | Constb of bool
+  | Winc  (** word increment (wrapping) *)
+  | Wadd  (** word addition (wrapping) *)
+  | Weq  (** word equality, produces a bit *)
+  | Wmux  (** [Wmux (sel, a, b)] with [sel] a bit, [a], [b] words *)
+  | Wnot
+  | Wand
+  | Wor
+  | Wxor
+  | Wconst of int * int  (** [(width, value)] *)
+
+type driver =
+  | Input of int  (** primary input by index *)
+  | Reg_out of int  (** register output by register index *)
+  | Gate of op * signal list
+
+type register = { data : signal; init : value }
+
+type t = {
+  name : string;
+  input_widths : width array;
+  drivers : driver array;
+  widths : width array;  (** width of each signal *)
+  registers : register array;
+  outputs : (string * signal) array;
+}
+
+(** {1 Builder} *)
+
+type builder
+
+val create : string -> builder
+
+val input : builder -> width -> signal
+(** Declare the next primary input. *)
+
+val reg : builder -> init:value -> width -> signal
+(** Declare a register (data signal connected later with {!connect_reg});
+    returns its output signal. *)
+
+val connect_reg : builder -> signal -> data:signal -> unit
+(** [connect_reg b r ~data] connects the data input of the register whose
+    output signal is [r].  @raise Failure if [r] is not a register
+    output. *)
+
+val gate : builder -> op -> signal list -> signal
+(** Add a gate; checks operand counts and widths.  @raise Failure on
+    arity or width mismatch. *)
+
+val output : builder -> string -> signal -> unit
+
+val finish : builder -> t
+(** Freeze the builder.  @raise Failure if a register is left
+    unconnected or the combinational part is cyclic. *)
+
+(** {1 Convenience gate constructors} *)
+
+val not_ : builder -> signal -> signal
+val and_ : builder -> signal -> signal -> signal
+val or_ : builder -> signal -> signal -> signal
+val xor_ : builder -> signal -> signal -> signal
+val xnor_ : builder -> signal -> signal -> signal
+val mux : builder -> sel:signal -> signal -> signal -> signal
+val constb : builder -> bool -> signal
+
+(** {1 Inspection} *)
+
+val width_of : t -> signal -> width
+val n_signals : t -> int
+val n_inputs : t -> int
+val gate_count : t -> int
+(** Number of gates, counting an [n]-bit word operator with the gate count
+    of its bit-level expansion (as the paper's tables count gates). *)
+
+val flipflop_count : t -> int
+(** Number of flip-flops (an [n]-bit register counts [n]). *)
+
+val topo_order : t -> signal list
+(** Gate signals in topological order (inputs and register outputs are
+    ready at the start; every gate appears after its operands). *)
+
+val fanout_map : t -> signal list array
+(** [fanout_map c] maps each signal to the gate signals reading it.  Used
+    by retiming heuristics. *)
+
+val validate : t -> unit
+(** Re-check structural invariants.  @raise Failure with a diagnostic. *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+val width_of_value : value -> width
+
+val builder_width : builder -> signal -> width
+(** Width of a signal during construction. *)

@@ -1,0 +1,94 @@
+open Circuit
+
+type state = value array
+
+let initial_state c = Array.map (fun r -> r.init) c.registers
+
+let mask w v = if w >= 62 then v else v land ((1 lsl w) - 1)
+
+let eval_op op (args : value list) : value =
+  match (op, args) with
+  | Not, [ Bit a ] -> Bit (not a)
+  | Buf, [ Bit a ] -> Bit a
+  | And, [ Bit a; Bit b ] -> Bit (a && b)
+  | Or, [ Bit a; Bit b ] -> Bit (a || b)
+  | Nand, [ Bit a; Bit b ] -> Bit (not (a && b))
+  | Nor, [ Bit a; Bit b ] -> Bit (not (a || b))
+  | Xor, [ Bit a; Bit b ] -> Bit (a <> b)
+  | Xnor, [ Bit a; Bit b ] -> Bit (a = b)
+  | Mux, [ Bit s; Bit a; Bit b ] -> Bit (if s then a else b)
+  | Constb v, [] -> Bit v
+  | Winc, [ Word (w, v) ] -> Word (w, mask w (v + 1))
+  | Wadd, [ Word (w, a); Word (_, b) ] -> Word (w, mask w (a + b))
+  | Weq, [ Word (_, a); Word (_, b) ] -> Bit (a = b)
+  | Wmux, [ Bit s; Word (w, a); Word (_, b) ] -> Word (w, if s then a else b)
+  | Wnot, [ Word (w, v) ] -> Word (w, mask w (lnot v))
+  | Wand, [ Word (w, a); Word (_, b) ] -> Word (w, a land b)
+  | Wor, [ Word (w, a); Word (_, b) ] -> Word (w, a lor b)
+  | Wxor, [ Word (w, a); Word (_, b) ] -> Word (w, a lxor b)
+  | Wconst (w, v), [] -> Word (w, v)
+  | _ -> failwith "Sim: operator/value mismatch"
+
+let eval_comb c st inputs =
+  if Array.length inputs <> n_inputs c then
+    failwith "Sim: wrong number of inputs";
+  Array.iteri
+    (fun i v ->
+      let expected = c.input_widths.(i) in
+      let actual = match v with Bit _ -> B | Word (w, _) -> W w in
+      if expected <> actual then failwith "Sim: input width mismatch")
+    inputs;
+  let n = n_signals c in
+  let vals = Array.make n (Bit false) in
+  let ready = Array.make n false in
+  (* inputs and register outputs first *)
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Input i ->
+          vals.(s) <- inputs.(i);
+          ready.(s) <- true
+      | Reg_out r ->
+          vals.(s) <- st.(r);
+          ready.(s) <- true
+      | Gate _ -> ())
+    c.drivers;
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Gate (op, args) ->
+          let argv = List.map (fun a -> vals.(a)) args in
+          vals.(s) <- eval_op op argv;
+          ready.(s) <- true
+      | Input _ | Reg_out _ -> ())
+    (topo_order c);
+  vals
+
+let step c st inputs =
+  let vals = eval_comb c st inputs in
+  let outs = Array.map (fun (_, s) -> vals.(s)) c.outputs in
+  let st' = Array.map (fun r -> vals.(r.data)) c.registers in
+  (outs, st')
+
+let run c input_seq =
+  let rec go st = function
+    | [] -> []
+    | inputs :: rest ->
+        let outs, st' = step c st inputs in
+        outs :: go st' rest
+  in
+  go (initial_state c) input_seq
+
+let random_inputs rng c =
+  Array.map
+    (fun w ->
+      match w with
+      | B -> Bit (Random.State.bool rng)
+      | W n -> Word (n, Random.State.int rng (min (1 lsl n) max_int)))
+    c.input_widths
+
+let value_equal a b =
+  match (a, b) with
+  | Bit x, Bit y -> x = y
+  | Word (w1, v1), Word (w2, v2) -> w1 = w2 && v1 = v2
+  | Bit _, Word _ | Word _, Bit _ -> false

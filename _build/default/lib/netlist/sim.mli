@@ -1,0 +1,29 @@
+(** Cycle-accurate netlist simulation. *)
+
+type state = Circuit.value array
+(** One value per register, in register order. *)
+
+val initial_state : Circuit.t -> state
+
+val step :
+  Circuit.t -> state -> Circuit.value array ->
+  Circuit.value array * state
+(** [step c st inputs] evaluates one clock cycle: returns the output
+    values (in output order) and the next state.
+    @raise Failure on input arity or width mismatch. *)
+
+val run :
+  Circuit.t -> Circuit.value array list -> Circuit.value array list
+(** Simulate from the initial state over a list of input vectors; returns
+    the output vector at each cycle. *)
+
+val eval_comb :
+  Circuit.t -> state -> Circuit.value array -> Circuit.value array
+(** Values of {e all} signals for the given state and inputs (exposes the
+    combinational evaluation used by [step]; used by the engines and by
+    tests). *)
+
+val random_inputs : Random.State.t -> Circuit.t -> Circuit.value array
+(** A uniformly random, width-correct input vector. *)
+
+val value_equal : Circuit.value -> Circuit.value -> bool

@@ -1,0 +1,1 @@
+lib/retiming/cut.ml: Array Circuit List

@@ -1,0 +1,1 @@
+lib/retiming/cut.mli: Circuit

@@ -1,0 +1,1 @@
+lib/retiming/forward.ml: Array Circuit Cut List Sim

@@ -1,0 +1,1 @@
+lib/retiming/forward.mli: Circuit Cut

@@ -1,0 +1,1 @@
+lib/retiming/leiserson.ml: Array Circuit Hashtbl List

@@ -1,0 +1,1 @@
+lib/retiming/leiserson.mli: Circuit

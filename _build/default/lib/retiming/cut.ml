@@ -1,0 +1,103 @@
+open Circuit
+
+type t = {
+  f_gates : signal list;
+  boundary : signal list;
+  passthrough : int list;
+}
+
+let of_gates c gates =
+  let in_f = Array.make (n_signals c) false in
+  List.iter (fun s -> in_f.(s) <- true) gates;
+  (* fan-in condition *)
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Gate (_, args) ->
+          List.iter
+            (fun a ->
+              match c.drivers.(a) with
+              | Reg_out _ -> ()
+              | Gate _ when in_f.(a) -> ()
+              | Gate _ | Input _ ->
+                  failwith
+                    "Cut.of_gates: f depends on a non-register signal \
+                     (false cut)")
+            args
+      | Input _ | Reg_out _ ->
+          failwith "Cut.of_gates: cut member is not a gate")
+    gates;
+  (* boundary: f-gates with a consumer outside f *)
+  let consumed_outside = Array.make (n_signals c) false in
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Gate (_, args) when not in_f.(s) ->
+          List.iter (fun a -> consumed_outside.(a) <- true) args
+      | Gate _ | Input _ | Reg_out _ -> ())
+    c.drivers;
+  Array.iter (fun (_, s) -> consumed_outside.(s) <- true) c.outputs;
+  Array.iter (fun r -> consumed_outside.(r.data) <- true) c.registers;
+  let boundary =
+    List.sort compare (List.filter (fun s -> consumed_outside.(s)) gates)
+  in
+  (* pass-through: registers read outside f *)
+  let passthrough =
+    let keep = ref [] in
+    Array.iteri
+      (fun s d ->
+        match d with
+        | Reg_out r when consumed_outside.(s) -> keep := r :: !keep
+        | Reg_out _ | Gate _ | Input _ -> ())
+      c.drivers;
+    List.sort compare !keep
+  in
+  if boundary = [] && passthrough = [] then
+    failwith
+      "Cut.of_gates: empty boundary (the cut computes only dead logic)";
+  (* keep f in topological order *)
+  let order = topo_order c in
+  let f_gates = List.filter (fun s -> in_f.(s)) order in
+  { f_gates; boundary; passthrough }
+
+let maximal c =
+  let n = n_signals c in
+  let retimable = Array.make n false in
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Gate (_, args) ->
+          retimable.(s) <-
+            List.for_all
+              (fun a ->
+                match c.drivers.(a) with
+                | Reg_out _ -> true
+                | Gate _ -> retimable.(a)
+                | Input _ -> false)
+              args
+      | Input _ | Reg_out _ -> ())
+    (topo_order c);
+  let gates = ref [] in
+  for s = n - 1 downto 0 do
+    if retimable.(s) then gates := s :: !gates
+  done;
+  if !gates = [] then failwith "Cut.maximal: no retimable gate"
+  else of_gates c !gates
+
+let prefixes c k =
+  let full = maximal c in
+  let gates = full.f_gates in
+  let total = List.length gates in
+  let sizes =
+    List.sort_uniq compare
+      (List.init k (fun i -> max 1 ((i + 1) * total / k)))
+  in
+  List.filter_map
+    (fun sz ->
+      let prefix = List.filteri (fun i _ -> i < sz) gates in
+      (* a topological prefix of a valid cut is itself a valid cut *)
+      try Some (of_gates c prefix) with Failure _ -> None)
+    sizes
+
+let state_width _ cut =
+  List.length cut.boundary + List.length cut.passthrough

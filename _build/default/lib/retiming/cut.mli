@@ -1,0 +1,45 @@
+(** Retiming cuts: the control information fed to the formal retiming step
+    (paper §IV.A step 1 — "assigning combinatorial components to f or g
+    can be performed by hand or by some arbitrary external program").
+
+    A {e cut} selects the gate set [f] over which the registers are moved
+    forward.  Validity (checked, never trusted — an invalid cut later makes
+    the formal step fail, §IV.C):
+    - every operand of an [f]-gate is a register output or another
+      [f]-gate (i.e. [f] is a function of the state only);
+
+    Derived data:
+    - the {e boundary}: [f]-gates read by the rest of the circuit ([g]),
+      by primary outputs or by register data inputs;
+    - the {e pass-through} registers: registers read outside [f] (their
+      value is carried through [f] unchanged, a register duplication in
+      retiming terms).
+
+    The new state of the retimed circuit is the tuple of boundary values
+    followed by pass-through register values. *)
+
+type t = {
+  f_gates : Circuit.signal list;  (** topologically ordered *)
+  boundary : Circuit.signal list;  (** ascending signal order *)
+  passthrough : int list;  (** register indices, ascending *)
+}
+
+val of_gates : Circuit.t -> Circuit.signal list -> t
+(** Validate a gate set and compute boundary and pass-through.
+    @raise Failure if the set violates the fan-in condition (the
+    paper's "false cut"). *)
+
+val maximal : Circuit.t -> t
+(** The maximal retimable [f]: every gate whose transitive fan-in avoids
+    primary inputs — the paper's worst case for HASH ("f covering a
+    maximum number of retimable gates").
+    @raise Failure if no gate is retimable. *)
+
+val prefixes : Circuit.t -> int -> t list
+(** [prefixes c k] returns up to [k] valid cuts of increasing size
+    (topological prefixes of the maximal cut) — used by the
+    cut-independence ablation. *)
+
+val state_width : Circuit.t -> t -> int
+(** Number of state components of the retimed machine
+    ([boundary] + [passthrough]). *)

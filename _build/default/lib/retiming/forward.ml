@@ -1,0 +1,88 @@
+open Circuit
+
+(* Value of every f-gate under the initial state (inputs are irrelevant:
+   a valid cut never reads them; we feed dummies). *)
+let f_values_at_init c =
+  let dummy_inputs =
+    Array.map
+      (function B -> Bit false | W n -> Word (n, 0))
+      c.input_widths
+  in
+  Sim.eval_comb c (Sim.initial_state c) dummy_inputs
+
+let boundary_inits c (cut : Cut.t) =
+  let vals = f_values_at_init c in
+  List.map (fun s -> vals.(s)) cut.Cut.boundary
+
+let retime c (cut : Cut.t) =
+  let in_f = Array.make (n_signals c) false in
+  List.iter (fun s -> in_f.(s) <- true) cut.Cut.f_gates;
+  let inits = f_values_at_init c in
+  let b = create (c.name ^ "_ret") in
+  (* inputs *)
+  let input_sig = Array.map (fun w -> input b w) c.input_widths in
+  (* new registers: boundary gates then pass-through registers *)
+  let boundary_reg =
+    List.map
+      (fun s -> (s, reg b ~init:inits.(s) (width_of c s)))
+      cut.Cut.boundary
+  in
+  let passthrough_reg =
+    List.map
+      (fun r ->
+        let reg_ = c.registers.(r) in
+        (r, reg b ~init:reg_.init (width_of_value reg_.init)))
+      cut.Cut.passthrough
+  in
+  (* map from original signal to new signal, for the g-part *)
+  let gmap = Array.make (n_signals c) (-1) in
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Input i -> gmap.(s) <- input_sig.(i)
+      | Reg_out _ | Gate _ -> ())
+    c.drivers;
+  List.iter (fun (s, nr) -> gmap.(s) <- nr) boundary_reg;
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Reg_out r -> (
+          match List.assoc_opt r passthrough_reg with
+          | Some nr -> gmap.(s) <- nr
+          | None -> ())
+      | Input _ | Gate _ -> ())
+    c.drivers;
+  (* g-part gates (non-f gates) in topological order *)
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Gate (op, args) when not in_f.(s) ->
+          gmap.(s) <- gate b op (List.map (fun a -> gmap.(a)) args)
+      | Gate _ | Input _ | Reg_out _ -> ())
+    (topo_order c);
+  (* s'-values: the data signal of each original register, in the g-part *)
+  let s'_sig r = gmap.(c.registers.(r).data) in
+  (* f-part: re-instantiate the f gates over the s'-values *)
+  let fmap = Array.make (n_signals c) (-1) in
+  let farg a =
+    match c.drivers.(a) with
+    | Reg_out r -> s'_sig r
+    | Gate _ -> fmap.(a)
+    | Input _ -> failwith "Forward.retime: f reads an input (false cut)"
+  in
+  List.iter
+    (fun s ->
+      match c.drivers.(s) with
+      | Gate (op, args) -> fmap.(s) <- gate b op (List.map farg args)
+      | Input _ | Reg_out _ -> failwith "Forward.retime: non-gate in cut")
+    cut.Cut.f_gates;
+  (* connect the new registers *)
+  List.iter
+    (fun (s, nr) -> connect_reg b nr ~data:fmap.(s))
+    boundary_reg;
+  List.iter
+    (fun (r, nr) -> connect_reg b nr ~data:(s'_sig r))
+    passthrough_reg;
+  (* outputs *)
+  Array.iter (fun (name, s) -> output b name gmap.(s)) c.outputs;
+  finish b

@@ -1,0 +1,15 @@
+(** Conventional (unverified) forward retiming: the synthesis step whose
+    output the post-synthesis verification baselines must check, and whose
+    formally-derived counterpart HASH produces with a proof.
+
+    Given a valid cut, the registers feeding [f] are removed, the gates of
+    [f] are moved behind [g], and new registers are placed on the cut
+    boundary with initial values [f(q)] (computed by constant
+    propagation); pass-through registers are kept. *)
+
+val retime : Circuit.t -> Cut.t -> Circuit.t
+(** @raise Failure on malformed cuts. *)
+
+val boundary_inits : Circuit.t -> Cut.t -> Circuit.value list
+(** The initial values of the new boundary registers, i.e. the value of
+    each boundary gate under the original initial state — [f q]. *)

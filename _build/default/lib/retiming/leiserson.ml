@@ -1,0 +1,173 @@
+open Circuit
+
+type analysis = {
+  period_before : int;
+  period_after : int;
+  labels : (signal * int) list;
+}
+
+(* The retiming graph: vertex 0 is the host; gates are 1..n.  Every edge
+   carries the number of registers on the connection. *)
+type graph = {
+  nv : int;
+  edges : (int * int * int) list;  (* (u, v, w) *)
+  vertex_of_gate : (signal, int) Hashtbl.t;
+  gate_of_vertex : signal array;  (* index 1.. *)
+}
+
+(* Follow a signal back through register chains, counting registers, until
+   a gate, input or constant source is reached.  A cycle of registers with
+   no combinational logic on it (a legal circuit) has no gate source: it
+   behaves like an environment connection. *)
+let trace c s regs =
+  let rec go s regs seen =
+    match c.drivers.(s) with
+    | Reg_out r ->
+        if List.mem r seen then (`Host, regs)
+        else go c.registers.(r).data (regs + 1) (r :: seen)
+    | Input _ -> (`Host, regs)
+    | Gate (_, _) -> (`Gate s, regs)
+  in
+  go s regs []
+
+let build c =
+  let gates =
+    List.filter
+      (fun s -> match c.drivers.(s) with Gate _ -> true | _ -> false)
+      (topo_order c)
+  in
+  let vertex_of_gate = Hashtbl.create 64 in
+  List.iteri (fun i s -> Hashtbl.replace vertex_of_gate s (i + 1)) gates;
+  let gate_of_vertex = Array.of_list (0 :: gates) in
+  let edges = ref [] in
+  let add u v w = edges := (u, v, w) :: !edges in
+  List.iter
+    (fun s ->
+      let v = Hashtbl.find vertex_of_gate s in
+      match c.drivers.(s) with
+      | Gate (_, args) ->
+          List.iter
+            (fun a ->
+              match trace c a 0 with
+              | `Host, w -> add 0 v w
+              | `Gate g, w -> add (Hashtbl.find vertex_of_gate g) v w)
+            args
+      | Input _ | Reg_out _ -> ())
+    gates;
+  (* environment edges: outputs and register data feeding the host *)
+  Array.iter
+    (fun (_, s) ->
+      match trace c s 0 with
+      | `Host, _ -> ()
+      | `Gate g, w -> add (Hashtbl.find vertex_of_gate g) 0 w)
+    c.outputs;
+  { nv = List.length gates + 1; edges = !edges; vertex_of_gate;
+    gate_of_vertex }
+
+(* Clock period of the graph under retiming labels r: longest path of
+   unit-delay vertices along zero-weight edges. *)
+let period g r =
+  let n = g.nv in
+  let adj0 = Array.make n [] in
+  List.iter
+    (fun (u, v, w) ->
+      let w' = w + r.(v) - r.(u) in
+      if w' < 0 then failwith "Leiserson: negative edge weight"
+      else if w' = 0 then adj0.(u) <- v :: adj0.(u))
+    g.edges;
+  (* longest path in the DAG of zero-weight edges (host has delay 0) *)
+  let depth = Array.make n (-1) in
+  let on_stack = Array.make n false in
+  let rec visit v =
+    (* the host has zero delay and does not propagate paths: an
+       input-to-output combinational path must not close a cycle *)
+    if v = 0 then 0
+    else if depth.(v) >= 0 then depth.(v)
+    else if on_stack.(v) then failwith "Leiserson: zero-weight cycle"
+    else begin
+      on_stack.(v) <- true;
+      let d =
+        List.fold_left (fun acc u -> max acc (visit u)) 0 adj0.(v)
+      in
+      on_stack.(v) <- false;
+      let dv = d + 1 in
+      depth.(v) <- dv;
+      dv
+    end
+  in
+  let m = ref 0 in
+  for v = 0 to n - 1 do
+    m := max !m (visit v)
+  done;
+  !m
+
+(* FEAS: try to find labels achieving period <= c. *)
+let feas g c =
+  let n = g.nv in
+  let r = Array.make n 0 in
+  let ok = ref false in
+  (try
+     for _ = 1 to n do
+       (* arrival times under current labels *)
+       let adj0 = Array.make n [] in
+       List.iter
+         (fun (u, v, w) ->
+           let w' = w + r.(v) - r.(u) in
+           if w' < 0 then raise Exit
+           else if w' = 0 then adj0.(v) <- u :: adj0.(v))
+         g.edges;
+       let depth = Array.make n (-1) in
+       let rec visit v =
+         if v = 0 then 0
+         else if depth.(v) >= 0 then depth.(v)
+         else begin
+           depth.(v) <- 0;
+           (* provisional, graph is acyclic on zero edges or we bail *)
+           let d =
+             List.fold_left (fun acc u -> max acc (visit u)) 0 adj0.(v)
+           in
+           let dv = d + 1 in
+           depth.(v) <- dv;
+           dv
+         end
+       in
+       let viol = ref false in
+       for v = 1 to n - 1 do
+         if visit v > c then begin
+           viol := true;
+           r.(v) <- r.(v) + 1
+         end
+       done;
+       if not !viol then begin
+         ok := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !ok then Some r else None
+
+let combinational_depth c =
+  let g = build c in
+  period g (Array.make g.nv 0)
+
+let analyse c =
+  let g = build c in
+  if g.nv <= 1 then failwith "Leiserson.analyse: no gates";
+  let r0 = Array.make g.nv 0 in
+  let before = period g r0 in
+  let rec search lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      match feas g mid with
+      | Some r -> search lo (mid - 1) (Some (mid, r))
+      | None -> search (mid + 1) hi best
+  in
+  match search 1 before (Some (before, r0)) with
+  | None -> assert false
+  | Some (p, r) ->
+      let labels =
+        List.init (g.nv - 1) (fun i ->
+            (g.gate_of_vertex.(i + 1), r.(i + 1)))
+      in
+      { period_before = before; period_after = p; labels }

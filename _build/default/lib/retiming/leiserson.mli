@@ -1,0 +1,23 @@
+(** Leiserson–Saxe retiming analysis ("Optimizing synchronous circuits by
+    retiming", cited as [11] by the paper): minimum-clock-period retiming
+    labels via binary search over feasible periods with a Bellman–Ford
+    feasibility check (the OPT1 formulation on the constraint graph).
+
+    Vertices are gates plus a host vertex for the environment; every gate
+    has unit delay; edge weights count the registers on the connection.
+    Used by the cut heuristics and the ablation benchmarks; the formal
+    step itself only consumes a {!Cut.t}. *)
+
+type analysis = {
+  period_before : int;  (** combinational depth of the input circuit *)
+  period_after : int;  (** minimum achievable clock period *)
+  labels : (Circuit.signal * int) list;
+      (** retiming label of each gate (registers moved from the outputs to
+          the inputs of the gate, possibly negative) *)
+}
+
+val analyse : Circuit.t -> analysis
+(** @raise Failure on circuits without gates. *)
+
+val combinational_depth : Circuit.t -> int
+(** Longest register-to-register (or I/O) gate path. *)

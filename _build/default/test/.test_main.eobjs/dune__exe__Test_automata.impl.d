@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Automata Boolean Kernel List Logic QCheck QCheck_alcotest Random Retiming_thm Term Theory Ty Words

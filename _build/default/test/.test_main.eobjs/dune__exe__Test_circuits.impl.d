@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuit Cut Fig2 Iwls Lazy List Printf QCheck QCheck_alcotest Random Random_circ

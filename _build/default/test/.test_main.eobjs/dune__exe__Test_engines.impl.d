@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Circuit Cut Engines Fig2 Forward Iwls Lazy List QCheck QCheck_alcotest Random Random_circ

@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Array Automata Circuit Cut Engines Fig2 Hash Iwls Kernel List Logic Printf QCheck QCheck_alcotest Random Random_circ Sim Term Ty

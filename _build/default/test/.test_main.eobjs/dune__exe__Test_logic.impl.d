@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Boolean Conv Kernel List Logic Pairs Printf QCheck QCheck_alcotest Random String Term Ty

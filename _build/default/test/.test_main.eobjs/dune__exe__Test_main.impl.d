@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_automata Test_bdd Test_circuits Test_engines Test_hash Test_logic Test_netlist Test_retiming

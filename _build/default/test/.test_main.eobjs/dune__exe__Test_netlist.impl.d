@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bitblast Blif Circuit Fig2 Hashtbl List Printf QCheck QCheck_alcotest Random Random_circ Sim String

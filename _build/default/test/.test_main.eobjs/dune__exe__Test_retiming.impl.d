@@ -1,0 +1,1 @@
+test/test_retiming.ml: Alcotest Array Circuit Cut Fig2 Forward Leiserson List QCheck QCheck_alcotest Random Random_circ Sim

@@ -1,0 +1,148 @@
+(* Tests for the BDD package: semantics against direct evaluation. *)
+
+let check = Alcotest.(check bool)
+
+type expr =
+  | V of int
+  | C of bool
+  | Andx of expr * expr
+  | Orx of expr * expr
+  | Xorx of expr * expr
+  | Notx of expr
+  | Itex of expr * expr * expr
+
+let gen_expr nvars =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n = 0 then
+          oneof [ map (fun i -> V i) (int_bound (nvars - 1));
+                  map (fun b -> C b) bool ]
+        else
+          frequency
+            [
+              (1, map (fun i -> V i) (int_bound (nvars - 1)));
+              (2, map2 (fun a b -> Andx (a, b)) (self (n / 2)) (self (n / 2)));
+              (2, map2 (fun a b -> Orx (a, b)) (self (n / 2)) (self (n / 2)));
+              (2, map2 (fun a b -> Xorx (a, b)) (self (n / 2)) (self (n / 2)));
+              (2, map (fun a -> Notx a) (self (n - 1)));
+              ( 1,
+                map3
+                  (fun a b c -> Itex (a, b, c))
+                  (self (n / 3)) (self (n / 3)) (self (n / 3)) );
+            ]))
+
+let rec eval env = function
+  | V i -> env i
+  | C b -> b
+  | Andx (a, b) -> eval env a && eval env b
+  | Orx (a, b) -> eval env a || eval env b
+  | Xorx (a, b) -> eval env a <> eval env b
+  | Notx a -> not (eval env a)
+  | Itex (a, b, c) -> if eval env a then eval env b else eval env c
+
+let rec build m = function
+  | V i -> Bdd.var m i
+  | C true -> Bdd.one m
+  | C false -> Bdd.zero m
+  | Andx (a, b) -> Bdd.and_ m (build m a) (build m b)
+  | Orx (a, b) -> Bdd.or_ m (build m a) (build m b)
+  | Xorx (a, b) -> Bdd.xor_ m (build m a) (build m b)
+  | Notx a -> Bdd.not_ m (build m a)
+  | Itex (a, b, c) -> Bdd.ite m (build m a) (build m b) (build m c)
+
+let nvars = 6
+
+let all_envs f =
+  let ok = ref true in
+  for mask = 0 to (1 lsl nvars) - 1 do
+    if not (f (fun i -> (mask lsr i) land 1 = 1)) then ok := false
+  done;
+  !ok
+
+let prop_semantics =
+  QCheck.Test.make ~count:150 ~name:"BDD agrees with evaluation"
+    (QCheck.make (gen_expr nvars)) (fun e ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      all_envs (fun env -> Bdd.eval m b env = eval env e))
+
+let prop_canonical =
+  QCheck.Test.make ~count:100 ~name:"semantic equality = node equality"
+    (QCheck.make QCheck.Gen.(pair (gen_expr nvars) (gen_expr nvars)))
+    (fun (e1, e2) ->
+      let m = Bdd.manager () in
+      let b1 = build m e1 and b2 = build m e2 in
+      let sem_eq =
+        all_envs (fun env -> Bdd.eval m b1 env = Bdd.eval m b2 env)
+      in
+      sem_eq = Bdd.equal b1 b2)
+
+let prop_exists =
+  QCheck.Test.make ~count:80 ~name:"existential quantification"
+    (QCheck.make QCheck.Gen.(pair (gen_expr nvars) (int_bound (nvars - 1))))
+    (fun (e, v) ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      let q = Bdd.exists m [ v ] b in
+      all_envs (fun env ->
+          let expect =
+            eval (fun i -> if i = v then false else env i) e
+            || eval (fun i -> if i = v then true else env i) e
+          in
+          Bdd.eval m q env = expect))
+
+let prop_restrict =
+  QCheck.Test.make ~count:80 ~name:"restrict = cofactor"
+    (QCheck.make
+       QCheck.Gen.(triple (gen_expr nvars) (int_bound (nvars - 1)) bool))
+    (fun (e, v, bv) ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      let r = Bdd.restrict m b v bv in
+      all_envs (fun env ->
+          Bdd.eval m r env
+          = eval (fun i -> if i = v then bv else env i) e))
+
+let prop_compose =
+  QCheck.Test.make ~count:60 ~name:"compose substitutes functions"
+    (QCheck.make
+       QCheck.Gen.(triple (gen_expr nvars) (int_bound (nvars - 1))
+                     (gen_expr nvars)))
+    (fun (e, v, g) ->
+      let m = Bdd.manager () in
+      let b = build m e and gb = build m g in
+      let r = Bdd.compose m b (fun i -> if i = v then Some gb else None) in
+      all_envs (fun env ->
+          Bdd.eval m r env
+          = eval (fun i -> if i = v then eval env g else env i) e))
+
+let test_support () =
+  let m = Bdd.manager () in
+  let b = Bdd.and_ m (Bdd.var m 3) (Bdd.xor_ m (Bdd.var m 1) (Bdd.var m 5)) in
+  Alcotest.(check (list int)) "support" [ 1; 3; 5 ] (Bdd.support m b)
+
+let test_any_sat () =
+  let m = Bdd.manager () in
+  let b = Bdd.and_ m (Bdd.var m 0) (Bdd.nvar m 2) in
+  let sat = Bdd.any_sat m b in
+  check "satisfies" true
+    (Bdd.eval m b (fun i -> try List.assoc i sat with Not_found -> false));
+  Alcotest.check_raises "unsat" Not_found (fun () ->
+      ignore (Bdd.any_sat m (Bdd.zero m)))
+
+let test_size () =
+  let m = Bdd.manager () in
+  Alcotest.(check int) "terminal size" 0 (Bdd.size m (Bdd.one m));
+  Alcotest.(check int) "var size" 1 (Bdd.size m (Bdd.var m 0))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_semantics;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_canonical;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_exists;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_restrict;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_compose;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    Alcotest.test_case "size" `Quick test_size;
+  ]

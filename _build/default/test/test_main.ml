@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "hash_retiming"
+    [
+      ("logic", Test_logic.suite);
+      ("automata", Test_automata.suite);
+      ("netlist", Test_netlist.suite);
+      ("bdd", Test_bdd.suite);
+      ("retiming", Test_retiming.suite);
+      ("engines", Test_engines.suite);
+      ("hash", Test_hash.suite);
+      ("circuits", Test_circuits.suite);
+    ]
