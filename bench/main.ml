@@ -9,8 +9,14 @@
      dune exec bench/main.exe -- levels  -- RT vs bit level ablation
      dune exec bench/main.exe -- micro   -- kernel primitive latencies
 
+   Besides the printed tables, table1/table2/micro write machine-readable
+   BENCH_table1.json / BENCH_table2.json / BENCH_micro.json into the
+   current directory (schema documented in README.md) so that successive
+   PRs can track the performance trajectory.
+
    Environment: BENCH_DEADLINE (seconds per engine run, default 5),
-   BENCH_MAX_N (largest Figure-2 bitwidth, default 64). *)
+   BENCH_MAX_N (largest Figure-2 bitwidth, default 64; capped at 63 — the
+   word simulator packs words into native 63-bit ints). *)
 
 let deadline =
   try float_of_string (Sys.getenv "BENCH_DEADLINE") with Not_found -> 5.0
@@ -24,11 +30,45 @@ let time f =
 
 let fmt_time ok t = if ok then Printf.sprintf "%8.2f" t else "       -"
 
-let engine_cell result t =
-  match result with
-  | Engines.Common.Equivalent -> fmt_time true t
+let engine_cell (r : Engines.Common.report) =
+  match r.Engines.Common.result with
+  | Engines.Common.Equivalent -> fmt_time true r.Engines.Common.wall_s
   | Engines.Common.Not_equivalent w -> Printf.sprintf "  BUG(%s)" w
-  | Engines.Common.Inconclusive _ | Engines.Common.Timeout -> fmt_time false t
+  | Engines.Common.Inconclusive _ | Engines.Common.Timeout ->
+      fmt_time false r.Engines.Common.wall_s
+
+(* The HASH synthesis step is the system under test: an exception from it
+   must yield a failure cell, not abort the whole table. *)
+let hash_run level c cut =
+  let t0 = Unix.gettimeofday () in
+  let status =
+    match Hash.Synthesis.retime level c cut with
+    | (_ : Hash.Synthesis.step) -> "ok"
+    | exception e -> "error: " ^ Printexc.to_string e
+  in
+  {
+    Obs.engine = "hash";
+    wall_s = Unix.gettimeofday () -. t0;
+    status;
+    snap = Obs.empty;
+    extra = [];
+  }
+
+let hash_cell (r : Obs.engine_run) =
+  if r.Obs.status = "ok" then fmt_time true r.Obs.wall_s else "    FAIL"
+
+let report_json r = Obs.engine_run_json (Engines.Common.report_to_run r)
+
+let write_table_json path table rows_json =
+  Obs.Json.to_file path
+    (Obs.Json.Obj
+       [
+         ("table", Obs.Json.Str table);
+         ("deadline_s", Obs.Json.Float deadline);
+         ("max_n", Obs.Json.Int max_n);
+         ("rows", Obs.Json.List rows_json);
+       ]);
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                             *)
@@ -43,36 +83,47 @@ let table1 () =
     "SMV" "HASH";
   let ns =
     List.filter
-      (fun n -> n <= max_n)
-      [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 64; 96; 128 ]
+      (fun n -> n <= max_n && n <= 63)
+      [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 63 ]
   in
-  List.iter
-    (fun n ->
-      let rt = Fig2.rt n in
-      let g = Fig2.gate n in
-      let gcut = Cut.maximal g in
-      let retimed_g = Forward.retime g gcut in
-      let sis_r, sis_t =
-        time (fun () ->
-            Engines.Sis_fsm.equiv
-              (Engines.Common.budget_of_seconds deadline)
-              g retimed_g)
-      in
-      let smv_r, smv_t =
-        time (fun () ->
-            Engines.Smv.equiv
-              (Engines.Common.budget_of_seconds deadline)
-              g retimed_g)
-      in
-      let _step, hash_t =
-        time (fun () ->
-            Hash.Synthesis.retime Hash.Embed.Rt_level rt (Cut.maximal rt))
-      in
-      Printf.printf "%4d %9d %6d %s %s %s\n" n (Circuit.flipflop_count g)
-        (Circuit.gate_count g) (engine_cell sis_r sis_t)
-        (engine_cell smv_r smv_t) (fmt_time true hash_t);
-      flush stdout)
-    ns
+  let rows =
+    List.map
+      (fun n ->
+        let rt = Fig2.rt n in
+        let g = Fig2.gate n in
+        let gcut = Cut.maximal g in
+        let retimed_g = Forward.retime g gcut in
+        let sis =
+          Engines.Sis_fsm.equiv_report
+            (Engines.Common.budget_of_seconds deadline)
+            g retimed_g
+        in
+        let smv =
+          Engines.Smv.equiv_report
+            (Engines.Common.budget_of_seconds deadline)
+            g retimed_g
+        in
+        let hash = hash_run Hash.Embed.Rt_level rt (Cut.maximal rt) in
+        Printf.printf "%4d %9d %6d %s %s %s\n" n (Circuit.flipflop_count g)
+          (Circuit.gate_count g) (engine_cell sis) (engine_cell smv)
+          (hash_cell hash);
+        flush stdout;
+        Obs.Json.Obj
+          [
+            ("n", Obs.Json.Int n);
+            ("flipflops", Obs.Json.Int (Circuit.flipflop_count g));
+            ("gates", Obs.Json.Int (Circuit.gate_count g));
+            ( "engines",
+              Obs.Json.List
+                [
+                  report_json sis;
+                  report_json smv;
+                  Obs.engine_run_json hash;
+                ] );
+          ])
+      ns
+  in
+  write_table_json "BENCH_table1.json" "table1" rows
 
 (* ------------------------------------------------------------------ *)
 (* Table II                                                            *)
@@ -85,38 +136,50 @@ let table2 () =
     deadline;
   Printf.printf "%-8s %9s %6s %9s %9s %9s %9s\n" "name" "flipflops" "gates"
     "Eijk" "Eijk*" "SIS" "HASH";
-  List.iter
-    (fun (e : Iwls.entry) ->
-      let c = Lazy.force e.Iwls.circuit in
-      let cut = Cut.maximal c in
-      let retimed = Forward.retime c cut in
-      let eijk_r, eijk_t =
-        time (fun () ->
-            Engines.Eijk.equiv
-              (Engines.Common.budget_of_seconds deadline)
-              c retimed)
-      in
-      let eijks_r, eijks_t =
-        time (fun () ->
-            Engines.Eijk.equiv_star
-              (Engines.Common.budget_of_seconds deadline)
-              c retimed)
-      in
-      let sis_r, sis_t =
-        time (fun () ->
-            Engines.Sis_fsm.equiv
-              (Engines.Common.budget_of_seconds deadline)
-              c retimed)
-      in
-      let _step, hash_t =
-        time (fun () -> Hash.Synthesis.retime Hash.Embed.Bit_level c cut)
-      in
-      Printf.printf "%-8s %9d %6d %s %s %s %s\n" e.Iwls.name
-        (Circuit.flipflop_count c) (Circuit.gate_count c)
-        (engine_cell eijk_r eijk_t) (engine_cell eijks_r eijks_t)
-        (engine_cell sis_r sis_t) (fmt_time true hash_t);
-      flush stdout)
-    Iwls.suite
+  let rows =
+    List.map
+      (fun (e : Iwls.entry) ->
+        let c = Lazy.force e.Iwls.circuit in
+        let cut = Cut.maximal c in
+        let retimed = Forward.retime c cut in
+        let eijk =
+          Engines.Eijk.equiv_report
+            (Engines.Common.budget_of_seconds deadline)
+            c retimed
+        in
+        let eijks =
+          Engines.Eijk.equiv_report ~exploit_dependencies:true
+            (Engines.Common.budget_of_seconds deadline)
+            c retimed
+        in
+        let sis =
+          Engines.Sis_fsm.equiv_report
+            (Engines.Common.budget_of_seconds deadline)
+            c retimed
+        in
+        let hash = hash_run Hash.Embed.Bit_level c cut in
+        Printf.printf "%-8s %9d %6d %s %s %s %s\n" e.Iwls.name
+          (Circuit.flipflop_count c) (Circuit.gate_count c)
+          (engine_cell eijk) (engine_cell eijks) (engine_cell sis)
+          (hash_cell hash);
+        flush stdout;
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.Str e.Iwls.name);
+            ("flipflops", Obs.Json.Int (Circuit.flipflop_count c));
+            ("gates", Obs.Json.Int (Circuit.gate_count c));
+            ( "engines",
+              Obs.Json.List
+                [
+                  report_json eijk;
+                  report_json eijks;
+                  report_json sis;
+                  Obs.engine_run_json hash;
+                ] );
+          ])
+      Iwls.suite
+  in
+  write_table_json "BENCH_table2.json" "table2" rows
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: HASH time vs cut size                                     *)
@@ -170,6 +233,26 @@ let levels () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* An ite-heavy workload: a dense function over 20 variables built from
+   xor/and/or layers, then quantified.  Exercises the computed table, the
+   unique table and the exists memo without the variable-order blowup of
+   the comparator circuits. *)
+let bdd_ite_storm () =
+  let m = Bdd.manager () in
+  let acc = ref (Bdd.zero m) in
+  for i = 0 to 19 do
+    let v = Bdd.var m i in
+    acc := Bdd.xor_ m !acc (Bdd.and_ m v (Bdd.var m ((i + 7) mod 20)))
+  done;
+  let f = ref !acc in
+  for i = 0 to 19 do
+    f :=
+      Bdd.or_ m
+        (Bdd.and_ m !f (Bdd.var m i))
+        (Bdd.xor_ m !f (Bdd.var m i))
+  done;
+  ignore (Bdd.exists m [ 0; 2; 4; 6; 8; 10 ] !f)
+
 let micro () =
   let open Bechamel in
   let open Toolkit in
@@ -180,6 +263,11 @@ let micro () =
   let step = Hash.Synthesis.retime Hash.Embed.Rt_level c (Cut.maximal c) in
   let th = step.Hash.Synthesis.theorem in
   let refl_lhs = Kernel.refl step.Hash.Synthesis.lhs_term in
+  (* the BDD product-machine benchmark: Figure-2 at n = 12 (the Weq
+     comparator is exponential in n under the bit-blasted variable order,
+     so n is kept small enough to be representative, not pathological) *)
+  let pg = Fig2.gate 12 in
+  let pr = Forward.retime pg (Cut.maximal pg) in
   let tests =
     Test.make_grouped ~name:"kernel"
       [
@@ -202,6 +290,12 @@ let micro () =
                     (Term.mk_comb Automata.Words.bv_inc_tm
                        (Automata.Words.mk_bv
                           (List.init 32 (fun i -> i mod 2 = 0)))))));
+        Test.make ~name:"bdd-ite-storm-20"
+          (Staged.stage bdd_ite_storm);
+        Test.make ~name:"bdd-product-fig2-12"
+          (Staged.stage (fun () ->
+               let m = Bdd.manager () in
+               ignore (Engines.Symbolic.product m pg pr)));
       ]
   in
   let ols =
@@ -214,15 +308,34 @@ let micro () =
   let raw_results = Benchmark.all cfg instances tests in
   let results = List.map (fun i -> Analyze.all ols i raw_results) instances in
   let results = Analyze.merge ols instances results in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun _clock tbl ->
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n" name est
+          | Some [ est ] ->
+              estimates := (name, est) :: !estimates;
+              Printf.printf "  %-28s %12.1f ns/run\n" name est
           | _ -> Printf.printf "  %-28s (no estimate)\n" name)
         tbl)
-    results
+    results;
+  Obs.Json.to_file "BENCH_micro.json"
+    (Obs.Json.Obj
+       [
+         ("table", Obs.Json.Str "micro");
+         ( "benchmarks",
+           Obs.Json.List
+             (List.rev_map
+                (fun (name, est) ->
+                  Obs.Json.Obj
+                    [
+                      ("name", Obs.Json.Str name);
+                      ("ns_per_run", Obs.Json.Float est);
+                    ])
+                !estimates) );
+       ]);
+  Printf.printf "wrote BENCH_micro.json\n"
 
 (* ------------------------------------------------------------------ *)
 

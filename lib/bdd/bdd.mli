@@ -60,6 +60,12 @@ val size : manager -> t -> int
 val node_count : manager -> int
 (** Total nodes allocated in the manager (monotone). *)
 
+val stats : manager -> Obs.snapshot
+(** Engine counters: hash-consing calls, unique-table and computed-table
+    hit/miss counts, and the peak node count (equal to {!node_count},
+    which is monotone).  Counters are cumulative over the manager's
+    lifetime. *)
+
 val eval : manager -> t -> (int -> bool) -> bool
 (** Evaluate under an assignment. *)
 

@@ -19,6 +19,12 @@ let check_nodes b m =
   if Bdd.node_count m > b.max_bdd_nodes then raise Out_of_budget
   else check b
 
+let result_tag = function
+  | Equivalent -> "equivalent"
+  | Not_equivalent _ -> "not_equivalent"
+  | Inconclusive _ -> "inconclusive"
+  | Timeout -> "timeout"
+
 let pp_result ppf = function
   | Equivalent -> Format.pp_print_string ppf "equivalent"
   | Not_equivalent w -> Format.fprintf ppf "NOT equivalent (%s)" w
@@ -26,6 +32,50 @@ let pp_result ppf = function
   | Timeout -> Format.pp_print_string ppf "timeout"
 
 let result_to_string r = Format.asprintf "%a" pp_result r
+
+(* ------------------------------------------------------------------ *)
+(* Observed runs                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  engine : string;
+  result : result;
+  wall_s : float;
+  bdd : Obs.snapshot;
+  extra : (string * float) list;
+}
+
+let observe ~engine f =
+  let t0 = Unix.gettimeofday () in
+  let result, extra = try f () with Out_of_budget -> (Timeout, []) in
+  {
+    engine;
+    result;
+    wall_s = Unix.gettimeofday () -. t0;
+    bdd = Obs.empty;
+    extra;
+  }
+
+let observe_bdd ~engine f =
+  let m = Bdd.manager () in
+  let t0 = Unix.gettimeofday () in
+  let result, extra = try f m with Out_of_budget -> (Timeout, []) in
+  {
+    engine;
+    result;
+    wall_s = Unix.gettimeofday () -. t0;
+    bdd = Bdd.stats m;
+    extra;
+  }
+
+let report_to_run r =
+  {
+    Obs.engine = r.engine;
+    wall_s = r.wall_s;
+    status = result_tag r.result;
+    snap = r.bdd;
+    extra = r.extra;
+  }
 
 let bit_inputs c =
   Array.fold_left

@@ -18,6 +18,31 @@ val out_of_time : budget -> bool
 val pp_result : Format.formatter -> result -> unit
 val result_to_string : result -> string
 
+val result_tag : result -> string
+(** Stable machine-readable tag: ["equivalent"], ["not_equivalent"],
+    ["inconclusive"] or ["timeout"] (used by the benchmark JSON). *)
+
+type report = {
+  engine : string;
+  result : result;
+  wall_s : float;
+  bdd : Obs.snapshot;  (** kernel counters; {!Obs.empty} for non-BDD engines *)
+  extra : (string * float) list;  (** engine-specific scalars *)
+}
+(** An observed engine run: result plus wall time and kernel counters. *)
+
+val observe :
+  engine:string -> (unit -> result * (string * float) list) -> report
+(** Time a non-BDD engine run; [Out_of_budget] maps to [Timeout]. *)
+
+val observe_bdd :
+  engine:string -> (Bdd.manager -> result * (string * float) list) -> report
+(** Allocate a fresh manager, time the run, and snapshot the kernel
+    counters (also on budget exhaustion, which maps to [Timeout]). *)
+
+val report_to_run : report -> Obs.engine_run
+(** Convert to the serialisable {!Obs.engine_run} form. *)
+
 exception Out_of_budget
 
 val check : budget -> unit

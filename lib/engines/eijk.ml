@@ -38,11 +38,11 @@ let signatures rng cycles ca cb =
 let complement_string s =
   String.map (function '0' -> '1' | _ -> '0') s
 
-let equiv ?(debug = false) ?(exploit_dependencies = false) ?(sim_cycles = 96) budget ca cb =
+(* The correspondence computation over a caller-supplied manager (so the
+   caller can snapshot kernel counters).  Raises [Common.Out_of_budget]. *)
+let equiv_m ~debug ~exploit_dependencies ~sim_cycles m budget ca cb =
   if not (Common.same_interface ca cb) then failwith "Eijk: interface mismatch";
-  let m = Bdd.manager () in
-  try
-    let p = Symbolic.product ~check:(fun () -> Common.check_nodes budget m) m ca cb in
+  let p = Symbolic.product ~check:(fun () -> Common.check_nodes budget m) m ca cb in
     let k = p.Symbolic.n_regs in
     let ka = Array.length ca.registers in
     let na = n_signals ca and nb = n_signals cb in
@@ -319,8 +319,27 @@ let equiv ?(debug = false) ?(exploit_dependencies = false) ?(sim_cycles = 96) bu
                 | Some _, Some _ -> "different class/polarity");
             ok := false)
       ca.outputs;
-    if !ok then Common.Equivalent
-    else Common.Inconclusive "outputs not in a common inductive class"
+    if !ok then
+      (Common.Equivalent, List.length !classes)
+    else
+      ( Common.Inconclusive "outputs not in a common inductive class",
+        List.length !classes )
+
+let equiv ?(debug = false) ?(exploit_dependencies = false) ?(sim_cycles = 96)
+    budget ca cb =
+  let m = Bdd.manager () in
+  try
+    fst
+      (equiv_m ~debug ~exploit_dependencies ~sim_cycles m budget ca cb)
   with Common.Out_of_budget -> Common.Timeout
 
 let equiv_star budget ca cb = equiv ~exploit_dependencies:true budget ca cb
+
+let equiv_report ?(debug = false) ?(exploit_dependencies = false)
+    ?(sim_cycles = 96) budget ca cb =
+  let engine = if exploit_dependencies then "eijk_star" else "eijk" in
+  Common.observe_bdd ~engine (fun m ->
+      let r, classes =
+        equiv_m ~debug ~exploit_dependencies ~sim_cycles m budget ca cb
+      in
+      (r, [ ("inductive_classes", float_of_int classes) ]))

@@ -31,3 +31,11 @@ val equiv :
 
 val equiv_star : Common.budget -> Circuit.t -> Circuit.t -> Common.result
 (** [equiv ~exploit_dependencies:true]. *)
+
+val equiv_report :
+  ?debug:bool ->
+  ?exploit_dependencies:bool ->
+  ?sim_cycles:int ->
+  Common.budget -> Circuit.t -> Circuit.t -> Common.report
+(** Like {!equiv}, with wall time and kernel counters; [extra] carries
+    [inductive_classes] (surviving classes at the fixpoint). *)

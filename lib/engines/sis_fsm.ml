@@ -137,3 +137,8 @@ let equiv_stats budget ca cb =
   end
 
 let equiv budget ca cb = fst (equiv_stats budget ca cb)
+
+let equiv_report budget ca cb =
+  Common.observe ~engine:"sis" (fun () ->
+      let r, states = equiv_stats budget ca cb in
+      (r, [ ("visited_states", float_of_int states) ]))

@@ -1,7 +1,7 @@
-let equiv_stats budget ca cb =
-  let m = Bdd.manager () in
-  try
-    let p = Symbolic.product ~check:(fun () -> Common.check_nodes budget m) m ca cb in
+(* The traversal proper, over a caller-supplied manager (so the caller can
+   snapshot the kernel counters afterwards).  Raises [Common.Out_of_budget]. *)
+let equiv_stats_m m budget ca cb =
+  let p = Symbolic.product ~check:(fun () -> Common.check_nodes budget m) m ca cb in
     let k = p.Symbolic.n_regs in
     (* Output-difference predicate over current state: exists an input
        distinguishing the two circuits. *)
@@ -66,8 +66,21 @@ let equiv_stats budget ca cb =
       end
     in
     bfs init_state init_state 0 (Bdd.size m init_state)
+
+let equiv_stats budget ca cb =
+  let m = Bdd.manager () in
+  try equiv_stats_m m budget ca cb
   with Common.Out_of_budget -> (Common.Timeout, 0, 0)
 
 let equiv budget ca cb =
   let r, _, _ = equiv_stats budget ca cb in
   r
+
+let equiv_report budget ca cb =
+  Common.observe_bdd ~engine:"smv" (fun m ->
+      let r, iters, peak = equiv_stats_m m budget ca cb in
+      ( r,
+        [
+          ("bfs_iterations", float_of_int iters);
+          ("peak_reached_size", float_of_int peak);
+        ] ))

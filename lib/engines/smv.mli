@@ -17,3 +17,7 @@ val equiv_stats :
   Common.result * int * int
 (** Like {!equiv}, also returning [(iterations, peak reached-set BDD
     size)] for the benchmark report. *)
+
+val equiv_report : Common.budget -> Circuit.t -> Circuit.t -> Common.report
+(** Like {!equiv}, with wall time and kernel counters; [extra] carries
+    [bfs_iterations] and [peak_reached_size]. *)

@@ -60,6 +60,14 @@ let create name =
     bwidth_tbl = Hashtbl.create 64; bregs = Hashtbl.create 16;
     n_bregs = 0; bouts = []; count = 0 }
 
+(* Word values live in native OCaml ints (63 bits), so wider words cannot
+   be simulated faithfully; reject them at construction. *)
+let check_width = function
+  | B -> ()
+  | W n ->
+      if n < 1 || n > 63 then
+        failwith "Circuit: unsupported word width (must be 1..63)"
+
 let push b d w =
   let id = b.count in
   b.bdrivers <- d :: b.bdrivers;
@@ -68,6 +76,7 @@ let push b d w =
   id
 
 let input b w =
+  check_width w;
   let idx = b.n_binputs in
   b.binputs <- w :: b.binputs;
   b.n_binputs <- idx + 1;
@@ -76,6 +85,7 @@ let input b w =
 let width_of_value = function Bit _ -> B | Word (w, _) -> W w
 
 let reg b ~init w =
+  check_width w;
   if width_of_value init <> w then failwith "Circuit.reg: init width mismatch";
   let ridx = b.n_bregs in
   Hashtbl.replace b.bregs ridx (ref None, init, w);
@@ -120,7 +130,11 @@ let op_signature op arg_widths =
   | Wnot, [ W n ] -> W n
   | (Wand | Wor | Wxor), _ -> W (word2 ())
   | Wconst (n, v), [] ->
-      if v < 0 || (n < 63 && v >= 1 lsl n) then
+      check_width (W n);
+      (* for n = 63 every int is a valid bit pattern; for n <= 62 the
+         value must fit in the low n bits (the old [v >= 1 lsl n] test
+         overflowed at n = 62 and rejected every 62-bit constant) *)
+      if n <= 62 && v land lnot ((1 lsl n) - 1) <> 0 then
         failwith "Circuit: Wconst out of range"
       else W n
   | _ ->

@@ -13,11 +13,15 @@ type signal = int
 (** Signal identifier (index into the circuit's driver table). *)
 
 type width = B | W of int
-(** Single bit, or an [n]-bit word. *)
+(** Single bit, or an [n]-bit word with [1 <= n <= 63] (word values live
+    in native OCaml ints; wider words are rejected at construction). *)
 
 type value = Bit of bool | Word of int * int
-(** A bit, or [Word (width, v)] with [0 <= v < 2^width].  Words are
-    interpreted LSB-first when bit-blasted. *)
+(** A bit, or [Word (width, v)] where [v] holds the word's low [width]
+    bits.  For [width <= 62] this means [0 <= v < 2^width]; for
+    [width = 63] the value occupies the full native int and may print as
+    negative (two's-complement bit pattern).  Words are interpreted
+    LSB-first when bit-blasted. *)
 
 type op =
   | Not

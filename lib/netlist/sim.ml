@@ -4,7 +4,11 @@ type state = value array
 
 let initial_state c = Array.map (fun r -> r.init) c.registers
 
-let mask w v = if w >= 62 then v else v land ((1 lsl w) - 1)
+(* Keep the low [w] bits.  For w = 62 the mask is max_int; only w = 63
+   (the full native int width, where wrap-around is the masking) passes
+   the value through.  The old [w >= 62] cut-off left 62-bit words
+   unmasked, so Winc/Wadd overflowed into negative ints. *)
+let mask w v = if w >= 63 then v else v land ((1 lsl w) - 1)
 
 let eval_op op (args : value list) : value =
   match (op, args) with
@@ -79,12 +83,22 @@ let run c input_seq =
   in
   go (initial_state c) input_seq
 
+(* A uniform [n]-bit value assembled from 30-bit draws: [1 lsl n]
+   overflows to a negative bound for n >= 62, which made
+   [Random.State.int] raise. *)
+let random_word rng n =
+  let rec go acc bits =
+    if bits >= n then mask n acc
+    else go ((acc lsl 30) lor Random.State.bits rng) (bits + 30)
+  in
+  go 0 0
+
 let random_inputs rng c =
   Array.map
     (fun w ->
       match w with
       | B -> Bit (Random.State.bool rng)
-      | W n -> Word (n, Random.State.int rng (min (1 lsl n) max_int)))
+      | W n -> Word (n, random_word rng n))
     c.input_widths
 
 let value_equal a b =

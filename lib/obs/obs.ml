@@ -1,0 +1,180 @@
+(* Engine observability: cheap mutable counters updated from the BDD
+   kernel's hot path, immutable snapshots for reporting, and a tiny JSON
+   emitter so the benchmark harness can persist machine-readable results
+   without external dependencies. *)
+
+module Counters = struct
+  type t = {
+    mutable mk_calls : int;
+    mutable unique_hits : int;
+    mutable unique_misses : int;
+    mutable cache_hits : int;
+    mutable cache_misses : int;
+    mutable memo_hits : int;
+    mutable memo_misses : int;
+  }
+
+  let create () =
+    {
+      mk_calls = 0;
+      unique_hits = 0;
+      unique_misses = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+      memo_hits = 0;
+      memo_misses = 0;
+    }
+
+  let reset c =
+    c.mk_calls <- 0;
+    c.unique_hits <- 0;
+    c.unique_misses <- 0;
+    c.cache_hits <- 0;
+    c.cache_misses <- 0;
+    c.memo_hits <- 0;
+    c.memo_misses <- 0
+end
+
+type snapshot = {
+  mk_calls : int;
+  unique_hits : int;
+  unique_misses : int;
+  cache_hits : int;
+  cache_misses : int;
+  memo_hits : int;
+  memo_misses : int;
+  peak_nodes : int;
+}
+
+let empty =
+  {
+    mk_calls = 0;
+    unique_hits = 0;
+    unique_misses = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    peak_nodes = 0;
+  }
+
+let snapshot ?(peak_nodes = 0) (c : Counters.t) =
+  {
+    mk_calls = c.Counters.mk_calls;
+    unique_hits = c.Counters.unique_hits;
+    unique_misses = c.Counters.unique_misses;
+    cache_hits = c.Counters.cache_hits;
+    cache_misses = c.Counters.cache_misses;
+    memo_hits = c.Counters.memo_hits;
+    memo_misses = c.Counters.memo_misses;
+    peak_nodes;
+  }
+
+let hit_rate s =
+  let hits = s.cache_hits + s.memo_hits in
+  let total = hits + s.cache_misses + s.memo_misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+type engine_run = {
+  engine : string;
+  wall_s : float;
+  status : string;
+  snap : snapshot;
+  extra : (string * float) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity
+        then Buffer.add_string buf "null"
+        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | List l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          l;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\":";
+            emit buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 1024 in
+    emit buf j;
+    Buffer.contents buf
+
+  let to_file path j =
+    let oc = open_out path in
+    output_string oc (to_string j);
+    output_char oc '\n';
+    close_out oc
+end
+
+let snapshot_json s =
+  Json.Obj
+    [
+      ("mk_calls", Json.Int s.mk_calls);
+      ("unique_hits", Json.Int s.unique_hits);
+      ("unique_misses", Json.Int s.unique_misses);
+      ("cache_hits", Json.Int s.cache_hits);
+      ("cache_misses", Json.Int s.cache_misses);
+      ("memo_hits", Json.Int s.memo_hits);
+      ("memo_misses", Json.Int s.memo_misses);
+      ("peak_nodes", Json.Int s.peak_nodes);
+      ("cache_hit_rate", Json.Float (hit_rate s));
+    ]
+
+let engine_run_json r =
+  Json.Obj
+    ([
+       ("engine", Json.Str r.engine);
+       ("wall_s", Json.Float r.wall_s);
+       ("status", Json.Str r.status);
+       ("bdd", snapshot_json r.snap);
+     ]
+    @ List.map (fun (k, v) -> (k, Json.Float v)) r.extra)

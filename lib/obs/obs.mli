@@ -1,0 +1,67 @@
+(** Observability for the verification engines.
+
+    The BDD kernel updates a {!Counters.t} record in its hot path (plain
+    mutable integer fields — no allocation, no indirection through
+    closures); engines snapshot it into an immutable {!snapshot} for
+    reporting, and the benchmark harness serialises {!engine_run} records
+    with the dependency-free {!Json} emitter. *)
+
+module Counters : sig
+  type t = {
+    mutable mk_calls : int;  (** calls to the hash-consing constructor *)
+    mutable unique_hits : int;  (** unique-table lookups that found a node *)
+    mutable unique_misses : int;  (** unique-table lookups that allocated *)
+    mutable cache_hits : int;  (** ite computed-table hits *)
+    mutable cache_misses : int;  (** ite computed-table misses *)
+    mutable memo_hits : int;  (** exists/compose/restrict memo hits *)
+    mutable memo_misses : int;  (** exists/compose/restrict memo misses *)
+  }
+
+  val create : unit -> t
+  val reset : t -> unit
+end
+
+type snapshot = {
+  mk_calls : int;
+  unique_hits : int;
+  unique_misses : int;
+  cache_hits : int;
+  cache_misses : int;
+  memo_hits : int;
+  memo_misses : int;
+  peak_nodes : int;
+}
+
+val empty : snapshot
+val snapshot : ?peak_nodes:int -> Counters.t -> snapshot
+
+val hit_rate : snapshot -> float
+(** Combined computed-table and memo hit rate in [0, 1]; [0.] when no
+    lookups were performed. *)
+
+type engine_run = {
+  engine : string;
+  wall_s : float;
+  status : string;
+  snap : snapshot;
+  extra : (string * float) list;  (** engine-specific scalars *)
+}
+
+(** Minimal JSON tree and compact emitter (strings are escaped; NaN and
+    infinities serialise as [null]). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val to_file : string -> t -> unit
+end
+
+val snapshot_json : snapshot -> Json.t
+val engine_run_json : engine_run -> Json.t

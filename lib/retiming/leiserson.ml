@@ -117,15 +117,26 @@ let feas g c =
            else if w' = 0 then adj0.(v) <- u :: adj0.(v))
          g.edges;
        let depth = Array.make n (-1) in
+       let on_stack = Array.make n false in
+       let cyclic = ref false in
        let rec visit v =
          if v = 0 then 0
          else if depth.(v) >= 0 then depth.(v)
+         else if on_stack.(v) then begin
+           (* a zero-weight cycle under the current labels: arrival times
+              are unbounded.  The old code seeded [depth.(v) <- 0] as a
+              provisional value here and silently computed wrong arrival
+              times; instead flag the cycle and bail this FEAS round
+              below, like [period] fails on zero-weight cycles. *)
+           cyclic := true;
+           c + 1
+         end
          else begin
-           depth.(v) <- 0;
-           (* provisional, graph is acyclic on zero edges or we bail *)
+           on_stack.(v) <- true;
            let d =
              List.fold_left (fun acc u -> max acc (visit u)) 0 adj0.(v)
            in
+           on_stack.(v) <- false;
            let dv = d + 1 in
            depth.(v) <- dv;
            dv
@@ -138,6 +149,10 @@ let feas g c =
            r.(v) <- r.(v) + 1
          end
        done;
+       (* cycle weights are invariant under retiming (the r terms
+          telescope), so a zero-weight cycle cannot be fixed by any
+          labels: the period is infeasible *)
+       if !cyclic then raise Exit;
        if not !viol then begin
          ok := true;
          raise Exit

@@ -116,6 +116,160 @@ let prop_compose =
           Bdd.eval m r env
           = eval (fun i -> if i = v then eval env g else env i) e))
 
+(* ------------------------------------------------------------------ *)
+(* Multi-variable quantification / simultaneous substitution            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_exists_multi =
+  QCheck.Test.make ~count:60
+    ~name:"existential quantification over variable sets"
+    (QCheck.make
+       QCheck.Gen.(pair (gen_expr nvars) (int_bound ((1 lsl nvars) - 1))))
+    (fun (e, vset) ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      let vars =
+        List.filter (fun i -> (vset lsr i) land 1 = 1)
+          (List.init nvars Fun.id)
+      in
+      let q = Bdd.exists m vars b in
+      all_envs (fun env ->
+          (* expected: OR over all assignments to the quantified vars *)
+          let expect = ref false in
+          for a = 0 to (1 lsl nvars) - 1 do
+            let env' i =
+              if (vset lsr i) land 1 = 1 then (a lsr i) land 1 = 1
+              else env i
+            in
+            if eval env' e then expect := true
+          done;
+          Bdd.eval m q env = !expect))
+
+let prop_compose_multi =
+  QCheck.Test.make ~count:60 ~name:"simultaneous composition of two vars"
+    (QCheck.make
+       QCheck.Gen.(
+         pair (gen_expr nvars)
+           (pair (gen_expr nvars) (gen_expr nvars))))
+    (fun (e, (g0, g1)) ->
+      let m = Bdd.manager () in
+      let b = build m e in
+      let b0 = build m g0 and b1 = build m g1 in
+      let v0 = 0 and v1 = 3 in
+      let r =
+        Bdd.compose m b (fun i ->
+            if i = v0 then Some b0 else if i = v1 then Some b1 else None)
+      in
+      all_envs (fun env ->
+          (* simultaneous: both g0 and g1 read the original env *)
+          let env' i =
+            if i = v0 then eval env g0
+            else if i = v1 then eval env g1
+            else env i
+          in
+          Bdd.eval m r env = eval env' e))
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive truth-table check on 3 variables (all 256 functions)      *)
+(* ------------------------------------------------------------------ *)
+
+let tt_nv = 3
+let tt_size = 1 lsl tt_nv (* 8 rows, 256 functions *)
+
+let bdd_of_table m tt =
+  let f = ref (Bdd.zero m) in
+  for a = 0 to tt_size - 1 do
+    if (tt lsr a) land 1 = 1 then begin
+      let minterm = ref (Bdd.one m) in
+      for i = 0 to tt_nv - 1 do
+        let v =
+          if (a lsr i) land 1 = 1 then Bdd.var m i else Bdd.nvar m i
+        in
+        minterm := Bdd.and_ m !minterm v
+      done;
+      f := Bdd.or_ m !f !minterm
+    end
+  done;
+  !f
+
+let tt_eval tt a = (tt lsr a) land 1 = 1
+let env_of a i = (a lsr i) land 1 = 1
+
+let test_truth_table_exhaustive () =
+  let m = Bdd.manager () in
+  for tt = 0 to (1 lsl tt_size) - 1 do
+    let b = bdd_of_table m tt in
+    (* the BDD represents the table *)
+    for a = 0 to tt_size - 1 do
+      if Bdd.eval m b (env_of a) <> tt_eval tt a then
+        Alcotest.failf "table %d row %d" tt a
+    done;
+    for v = 0 to tt_nv - 1 do
+      (* restrict = cofactor *)
+      let set a b = if b then a lor (1 lsl v) else a land lnot (1 lsl v) in
+      let r0 = Bdd.restrict m b v false and r1 = Bdd.restrict m b v true in
+      for a = 0 to tt_size - 1 do
+        if Bdd.eval m r0 (env_of a) <> tt_eval tt (set a false) then
+          Alcotest.failf "restrict0 table %d var %d row %d" tt v a;
+        if Bdd.eval m r1 (env_of a) <> tt_eval tt (set a true) then
+          Alcotest.failf "restrict1 table %d var %d row %d" tt v a
+      done;
+      (* exists v = cofactor0 OR cofactor1 *)
+      let q = Bdd.exists m [ v ] b in
+      for a = 0 to tt_size - 1 do
+        let expect = tt_eval tt (set a false) || tt_eval tt (set a true) in
+        if Bdd.eval m q (env_of a) <> expect then
+          Alcotest.failf "exists table %d var %d row %d" tt v a
+      done
+    done;
+    (* compose var 1 := (x0 xor x2), against table evaluation *)
+    let g = Bdd.xor_ m (Bdd.var m 0) (Bdd.var m 2) in
+    let r = Bdd.compose m b (fun i -> if i = 1 then Some g else None) in
+    for a = 0 to tt_size - 1 do
+      let gv = env_of a 0 <> env_of a 2 in
+      let a' = if gv then a lor 2 else a land lnot 2 in
+      if Bdd.eval m r (env_of a) <> tt_eval tt a' then
+        Alcotest.failf "compose table %d row %d" tt a
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Computed-table canonicalization and counters                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ite_normalization_cache () =
+  let m = Bdd.manager () in
+  let f = Bdd.xor_ m (Bdd.var m 0) (Bdd.var m 1) in
+  let g = Bdd.xnor_ m (Bdd.var m 2) (Bdd.var m 3) in
+  let ab = Bdd.and_ m f g in
+  let hits_before = (Bdd.stats m).Obs.cache_hits in
+  (* the commuted operands must canonicalize onto the same cache entry *)
+  let ba = Bdd.and_ m g f in
+  let hits_after = (Bdd.stats m).Obs.cache_hits in
+  check "and commutes" true (Bdd.equal ab ba);
+  check "commuted and hits the cache" true (hits_after > hits_before);
+  let o1 = Bdd.or_ m f g in
+  let hits_before = (Bdd.stats m).Obs.cache_hits in
+  let o2 = Bdd.or_ m g f in
+  let hits_after = (Bdd.stats m).Obs.cache_hits in
+  check "or commutes" true (Bdd.equal o1 o2);
+  check "commuted or hits the cache" true (hits_after > hits_before)
+
+let test_stats_counters () =
+  let m = Bdd.manager () in
+  let s0 = Bdd.stats m in
+  Alcotest.(check int) "fresh manager: no mk calls" 0 s0.Obs.mk_calls;
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.or_ m (Bdd.var m 1) (Bdd.var m 2)) in
+  ignore (Bdd.exists m [ 1 ] f);
+  let s = Bdd.stats m in
+  check "mk calls counted" true (s.Obs.mk_calls > 0);
+  check "unique misses counted" true (s.Obs.unique_misses > 0);
+  check "memo misses counted" true (s.Obs.memo_misses > 0);
+  check "peak nodes tracks manager" true
+    (s.Obs.peak_nodes = Bdd.node_count m);
+  let rate = Obs.hit_rate s in
+  check "hit rate in range" true (rate >= 0.0 && rate <= 1.0)
+
 let test_support () =
   let m = Bdd.manager () in
   let b = Bdd.and_ m (Bdd.var m 3) (Bdd.xor_ m (Bdd.var m 1) (Bdd.var m 5)) in
@@ -142,6 +296,13 @@ let suite =
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_exists;
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_restrict;
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_compose;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_exists_multi;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_compose_multi;
+    Alcotest.test_case "truth-table exhaustive (3 vars)" `Quick
+      test_truth_table_exhaustive;
+    Alcotest.test_case "ite normalization & computed table" `Quick
+      test_ite_normalization_cache;
+    Alcotest.test_case "engine counters" `Quick test_stats_counters;
     Alcotest.test_case "support" `Quick test_support;
     Alcotest.test_case "any_sat" `Quick test_any_sat;
     Alcotest.test_case "size" `Quick test_size;

@@ -125,6 +125,112 @@ let test_value_equal () =
   check "mixed" false (Sim.value_equal (Bit true) (Word (1, 1)))
 
 (* ------------------------------------------------------------------ *)
+(* Wide words: width 62/63 must mask correctly (native ints are 63 bits) *)
+(* ------------------------------------------------------------------ *)
+
+let wide_adder w =
+  let b = create (Printf.sprintf "wide%d" w) in
+  let a = input b (W w) in
+  let b2 = input b (W w) in
+  output b "inc" (gate b Winc [ a ]);
+  output b "add" (gate b Wadd [ a; b2 ]);
+  output b "xor" (gate b Wxor [ a; b2 ]);
+  finish b
+
+let run1 c inputs =
+  match Sim.run c [ inputs ] with [ outs ] -> outs | _ -> assert false
+
+let test_wide_words_62 () =
+  let c = wide_adder 62 in
+  let ones = max_int (* 2^62 - 1: all 62 bits set *) in
+  let outs = run1 c [| Word (62, ones); Word (62, ones) |] in
+  (match outs.(0) with
+  | Word (62, v) -> Alcotest.(check int) "inc wraps to 0" 0 v
+  | _ -> Alcotest.fail "expected word");
+  (match outs.(1) with
+  | Word (62, v) ->
+      Alcotest.(check int) "add wraps" (ones - 1) v;
+      check "add stays non-negative" true (v >= 0)
+  | _ -> Alcotest.fail "expected word");
+  match outs.(2) with
+  | Word (62, v) -> Alcotest.(check int) "xor" 0 v
+  | _ -> Alcotest.fail "expected word"
+
+let test_wide_words_63 () =
+  let c = wide_adder 63 in
+  let ones = -1 (* all 63 bits set *) in
+  let outs = run1 c [| Word (63, ones); Word (63, ones) |] in
+  (match outs.(0) with
+  | Word (63, v) -> Alcotest.(check int) "inc wraps to 0" 0 v
+  | _ -> Alcotest.fail "expected word");
+  (match outs.(1) with
+  | Word (63, v) -> Alcotest.(check int) "add wraps" (-2) v
+  | _ -> Alcotest.fail "expected word");
+  (* 2^62 (the sign bit of the native int) round-trips *)
+  let outs = run1 c [| Word (63, max_int); Word (63, 1) |] in
+  match outs.(1) with
+  | Word (63, v) -> Alcotest.(check int) "max_int + 1" min_int v
+  | _ -> Alcotest.fail "expected word"
+
+let test_wide_register_roundtrip () =
+  (* a 62-bit counter seeded at the top of its range *)
+  let b = create "wide_counter" in
+  let r = reg b ~init:(Word (62, max_int)) (W 62) in
+  let x = gate b Winc [ r ] in
+  connect_reg b r ~data:x;
+  output b "x" x;
+  let c = finish b in
+  let expected = [ 0; 1; 2 ] in
+  let outs = Sim.run c (List.map (fun _ -> [||]) expected) in
+  List.iter2
+    (fun e outs ->
+      match outs.(0) with
+      | Word (62, v) -> Alcotest.(check int) "counter" e v
+      | _ -> Alcotest.fail "expected word")
+    expected outs
+
+let test_wide_random_inputs () =
+  (* regression: [1 lsl n] overflowed for n >= 62 and made
+     Random.State.int raise *)
+  let b = create "wide_inputs" in
+  ignore (input b (W 61));
+  ignore (input b (W 62));
+  ignore (input b (W 63));
+  output b "o" (constb b false);
+  let c = finish b in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    let inputs = Sim.random_inputs rng c in
+    Array.iter
+      (function
+        | Word (w, v) when w <= 62 ->
+            check "in range" true (v >= 0 && v land lnot ((1 lsl w) - 1) = 0)
+        | _ -> ())
+      inputs
+  done
+
+let test_width_rejection () =
+  Alcotest.check_raises "wide input rejected"
+    (Failure "Circuit: unsupported word width (must be 1..63)") (fun () ->
+      ignore (input (create "t") (W 64)));
+  Alcotest.check_raises "zero-width input rejected"
+    (Failure "Circuit: unsupported word width (must be 1..63)") (fun () ->
+      ignore (input (create "t") (W 0)));
+  Alcotest.check_raises "wide register rejected"
+    (Failure "Circuit: unsupported word width (must be 1..63)") (fun () ->
+      ignore (reg (create "t") ~init:(Word (64, 0)) (W 64)));
+  Alcotest.check_raises "wide constant rejected"
+    (Failure "Circuit: unsupported word width (must be 1..63)") (fun () ->
+      ignore (gate (create "t") (Wconst (64, 0)) []));
+  (* regression: the old range check rejected every 62-bit constant *)
+  let b = create "t" in
+  ignore (gate b (Wconst (62, max_int)) []);
+  ignore (gate b (Wconst (63, -1)) []);
+  Alcotest.check_raises "out-of-range constant rejected"
+    (Failure "Circuit: Wconst out of range") (fun () ->
+      ignore (gate (create "t") (Wconst (4, 16)) []))
+
+(* ------------------------------------------------------------------ *)
 (* Bit-blasting preserves behaviour (co-simulation)                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,6 +275,20 @@ let cosim_check c cycles seed =
   done;
   !ok
 
+let test_bitblast_wide () =
+  (* bit-blasting a 62/63-bit design agrees with word simulation (also
+     exercises the fixed random_inputs on wide words) *)
+  let b = create "wide_blast" in
+  let a = input b (W 62) in
+  let a2 = input b (W 63) in
+  let r = reg b ~init:(Word (63, 0)) (W 63) in
+  connect_reg b r ~data:(gate b Winc [ r ]);
+  output b "add" (gate b Wadd [ a; a ]);
+  output b "eq" (gate b Weq [ a2; r ]);
+  output b "cnt" r;
+  let c = finish b in
+  check "wide cosim" true (cosim_check c 24 1234)
+
 let prop_bitblast =
   QCheck.Test.make ~count:40 ~name:"bitblast preserves behaviour"
     QCheck.(int_range 0 10_000)
@@ -199,6 +319,13 @@ let suite =
     Alcotest.test_case "sim counter behaviour" `Quick test_sim_counter;
     Alcotest.test_case "sim mux path" `Quick test_sim_mux_path;
     Alcotest.test_case "value equality" `Quick test_value_equal;
+    Alcotest.test_case "wide words (W 62)" `Quick test_wide_words_62;
+    Alcotest.test_case "wide words (W 63)" `Quick test_wide_words_63;
+    Alcotest.test_case "wide register roundtrip" `Quick
+      test_wide_register_roundtrip;
+    Alcotest.test_case "wide random inputs" `Quick test_wide_random_inputs;
+    Alcotest.test_case "width rejection" `Quick test_width_rejection;
+    Alcotest.test_case "bitblast wide words" `Quick test_bitblast_wide;
     Alcotest.test_case "bitblast fig2" `Quick test_bitblast_fig2;
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_bitblast;
     Alcotest.test_case "stats" `Quick test_stats;
