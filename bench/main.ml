@@ -38,12 +38,17 @@ let engine_cell (r : Engines.Common.report) =
       fmt_time false r.Engines.Common.wall_s
 
 (* The HASH synthesis step is the system under test: an exception from it
-   must yield a failure cell, not abort the whole table. *)
+   must yield a failure cell, not abort the whole table.  The run respects
+   the same deadline as the verification engines and carries the logic
+   kernel's counter deltas. *)
 let hash_run level c cut =
+  let budget = Engines.Common.budget_of_seconds deadline in
+  let k0 = Engines.Common.kernel_now () in
   let t0 = Unix.gettimeofday () in
   let status =
-    match Hash.Synthesis.retime level c cut with
+    match Hash.Synthesis.retime ~budget level c cut with
     | (_ : Hash.Synthesis.step) -> "ok"
+    | exception Engines.Common.Out_of_budget -> "timeout"
     | exception e -> "error: " ^ Printexc.to_string e
   in
   {
@@ -51,11 +56,14 @@ let hash_run level c cut =
     wall_s = Unix.gettimeofday () -. t0;
     status;
     snap = Obs.empty;
+    kern = Obs.kernel_delta ~before:k0 ~after:(Engines.Common.kernel_now ());
     extra = [];
   }
 
 let hash_cell (r : Obs.engine_run) =
-  if r.Obs.status = "ok" then fmt_time true r.Obs.wall_s else "    FAIL"
+  if r.Obs.status = "ok" then fmt_time true r.Obs.wall_s
+  else if r.Obs.status = "timeout" then fmt_time false r.Obs.wall_s
+  else "    FAIL"
 
 let report_json r = Obs.engine_run_json (Engines.Common.report_to_run r)
 
@@ -263,6 +271,27 @@ let micro () =
   let step = Hash.Synthesis.retime Hash.Embed.Rt_level c (Cut.maximal c) in
   let th = step.Hash.Synthesis.theorem in
   let refl_lhs = Kernel.refl step.Hash.Synthesis.lhs_term in
+  (* substitution over the whole open step-function body of a larger
+     circuit: the state variable occurs throughout the LET chain *)
+  let subst_c = Fig2.rt 32 in
+  let subst_e = Hash.Embed.embed Hash.Embed.Rt_level subst_c in
+  let subst_sv, subst_body =
+    Term.dest_abs (snd (Term.dest_abs subst_e.Hash.Embed.fd))
+  in
+  (* an independently rebuilt embedding of the same circuit: aconv must
+     recognise the two dag-shaped terms as equal *)
+  let aconv_e = Hash.Embed.embed Hash.Embed.Rt_level subst_c in
+  (* a ground boolean chain with distinct nodes at every level (a balanced
+     tree would collapse under hash-consing); normalising it repeatedly
+     exercises the persistent rewrite memo's hit path *)
+  let ground_chain =
+    let t = ref (Boolean.bool_const true) in
+    for i = 0 to 199 do
+      let other = Boolean.bool_const (i mod 2 = 0) in
+      t := Boolean.mk_xor (Boolean.mk_conj !t other) (Boolean.mk_disj other !t)
+    done;
+    !t
+  in
   (* the BDD product-machine benchmark: Figure-2 at n = 12 (the Weq
      comparator is exponential in n under the bit-blasted variable order,
      so n is kept small enough to be representative, not pathological) *)
@@ -290,6 +319,17 @@ let micro () =
                     (Term.mk_comb Automata.Words.bv_inc_tm
                        (Automata.Words.mk_bv
                           (List.init 32 (fun i -> i mod 2 = 0)))))));
+        Test.make ~name:"subst-large"
+          (Staged.stage (fun () ->
+               ignore (Term.vsubst [ (subst_sv, subst_e.Hash.Embed.q) ]
+                         subst_body)));
+        Test.make ~name:"aconv-large"
+          (Staged.stage (fun () ->
+               ignore
+                 (Term.aconv subst_e.Hash.Embed.fd aconv_e.Hash.Embed.fd)));
+        Test.make ~name:"rewrite-memo"
+          (Staged.stage (fun () ->
+               ignore (Boolean.bool_eval_conv ground_chain)));
         Test.make ~name:"bdd-ite-storm-20"
           (Staged.stage bdd_ite_storm);
         Test.make ~name:"bdd-product-fig2-12"

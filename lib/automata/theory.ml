@@ -38,8 +38,9 @@ let eta_ax =
 (* Reduce all beta-redexes anywhere in a term. *)
 let beta_norm_conv =
   Conv.memo_top_depth_conv (fun tm ->
-      match tm with
-      | Term.Comb (Term.Abs (_, _), _) -> Drule.beta_conv tm
+      match tm.Term.node with
+      | Term.Comb ({ Term.node = Term.Abs (_, _); _ }, _) ->
+          Drule.beta_conv tm
       | _ -> failwith "beta_norm_conv: no redex")
 
 let induct pred base step =
@@ -125,12 +126,18 @@ let mk_automaton fd q =
   Term.list_mk_comb (automaton_tm i s o) [ fd; q ]
 
 let dest_automaton tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const ("automaton", _), fd), q) -> (fd, q)
+  match tm.Term.node with
+  | Term.Comb
+      ( {
+          Term.node = Term.Comb ({ Term.node = Term.Const ("automaton", _); _ }, fd);
+          _;
+        },
+        q ) ->
+      (fd, q)
   | _ -> failwith "Theory.dest_automaton"
 
 let automaton_expand tm =
-  match Term.strip_comb tm with
+  match (fst (Term.strip_comb tm)).Term.node, snd (Term.strip_comb tm) with
   | Term.Const ("automaton", _), [ _; _; _; _ ] ->
       let path4 c = Conv.rator_conv (Conv.rator_conv (Conv.rator_conv c)) in
       Conv.thenc

@@ -22,11 +22,27 @@ let mk_bv bits =
     bits (nil_tm Ty.bool)
 
 let rec dest_bv tm =
-  match tm with
+  match tm.Term.node with
   | Term.Const ("NIL", _) -> []
-  | Term.Comb (Term.Comb (Term.Const ("CONS", _), Term.Const ("T", _)), t) ->
+  | Term.Comb
+      ( {
+          Term.node =
+            Term.Comb
+              ( { Term.node = Term.Const ("CONS", _); _ },
+                { Term.node = Term.Const ("T", _); _ } );
+          _;
+        },
+        t ) ->
       true :: dest_bv t
-  | Term.Comb (Term.Comb (Term.Const ("CONS", _), Term.Const ("F", _)), t) ->
+  | Term.Comb
+      ( {
+          Term.node =
+            Term.Comb
+              ( { Term.node = Term.Const ("CONS", _); _ },
+                { Term.node = Term.Const ("F", _); _ } );
+          _;
+        },
+        t ) ->
       false :: dest_bv t
   | _ -> failwith "Words.dest_bv: not a literal word"
 
@@ -175,7 +191,7 @@ let eval_rewrites =
   @ Boolean.not_clauses @ Boolean.xor_clauses @ Boolean.eq_bool_clauses
   @ Boolean.cond_clauses
 
-let word_eval_conv tm =
+(* Partial application: the normalisation memo persists across calls. *)
+let word_eval_conv =
   Conv.memo_top_depth_conv
     (Conv.orelsec (Conv.rewrs_conv eval_rewrites) Pairs.let_proj_conv)
-    tm

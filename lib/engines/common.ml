@@ -42,10 +42,29 @@ type report = {
   result : result;
   wall_s : float;
   bdd : Obs.snapshot;
+  kern : Obs.kernel_snapshot;
   extra : (string * float) list;
 }
 
+(* Read the logic kernel's counters.  This module is the lowest layer that
+   sees both Logic and Obs, so it owns the translation. *)
+let kernel_now () =
+  let t = Logic.Term.stats () in
+  let memo_hits, memo_misses = Logic.Conv.memo_stats () in
+  {
+    Obs.rule_apps = Logic.Kernel.rule_count ();
+    term_mk_calls = t.Logic.Term.mk_calls;
+    term_intern_hits = t.Logic.Term.intern_hits;
+    term_intern_misses = t.Logic.Term.intern_misses;
+    conv_memo_hits = memo_hits;
+    conv_memo_misses = memo_misses;
+    live_term_nodes = t.Logic.Term.live_nodes;
+    peak_term_nodes = t.Logic.Term.peak_nodes;
+    ty_nodes = Logic.Ty.node_count ();
+  }
+
 let observe ~engine f =
+  let k0 = kernel_now () in
   let t0 = Unix.gettimeofday () in
   let result, extra = try f () with Out_of_budget -> (Timeout, []) in
   {
@@ -53,11 +72,13 @@ let observe ~engine f =
     result;
     wall_s = Unix.gettimeofday () -. t0;
     bdd = Obs.empty;
+    kern = Obs.kernel_delta ~before:k0 ~after:(kernel_now ());
     extra;
   }
 
 let observe_bdd ~engine f =
   let m = Bdd.manager () in
+  let k0 = kernel_now () in
   let t0 = Unix.gettimeofday () in
   let result, extra = try f m with Out_of_budget -> (Timeout, []) in
   {
@@ -65,6 +86,7 @@ let observe_bdd ~engine f =
     result;
     wall_s = Unix.gettimeofday () -. t0;
     bdd = Bdd.stats m;
+    kern = Obs.kernel_delta ~before:k0 ~after:(kernel_now ());
     extra;
   }
 
@@ -74,6 +96,7 @@ let report_to_run r =
     wall_s = r.wall_s;
     status = result_tag r.result;
     snap = r.bdd;
+    kern = r.kern;
     extra = r.extra;
   }
 

@@ -26,10 +26,17 @@ type report = {
   engine : string;
   result : result;
   wall_s : float;
-  bdd : Obs.snapshot;  (** kernel counters; {!Obs.empty} for non-BDD engines *)
+  bdd : Obs.snapshot;  (** BDD counters; {!Obs.empty} for non-BDD engines *)
+  kern : Obs.kernel_snapshot;
+      (** logic-kernel counter deltas over the run (rule applications,
+          term interning, conversion memos) *)
   extra : (string * float) list;  (** engine-specific scalars *)
 }
 (** An observed engine run: result plus wall time and kernel counters. *)
+
+val kernel_now : unit -> Obs.kernel_snapshot
+(** Current cumulative logic-kernel counters; diff two with
+    {!Obs.kernel_delta} to attribute work to a run. *)
 
 val observe :
   engine:string -> (unit -> result * (string * float) list) -> report

@@ -133,5 +133,5 @@ let embed level (c : Circuit.t) =
 
 let mk_automaton_of e = Automata.Theory.mk_automaton e.fd e.q
 
-let circuit_norm_conv tm =
-  Conv.memo_top_depth_conv Pairs.let_proj_conv tm
+(* Partial application: the normalisation memo persists across calls. *)
+let circuit_norm_conv = Conv.memo_top_depth_conv Pairs.let_proj_conv

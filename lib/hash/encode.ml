@@ -42,10 +42,10 @@ let permute_netlist (c : Circuit.t) p =
   Array.iter (fun (nm, s) -> output b nm map.(s)) c.outputs;
   finish b
 
-let proj_eta_conv tm =
+(* Partial application: the normalisation memo persists across calls. *)
+let proj_eta_conv =
   Conv.memo_top_depth_conv
     (Conv.orelsec Pairs.let_proj_conv (Conv.rewr_conv Pairs.pair_eta))
-    tm
 
 let permute_registers level c p =
   if not (is_permutation p) then

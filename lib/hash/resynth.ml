@@ -6,12 +6,12 @@ let simp_rewrites =
 
 (* Beta-reduce and simplify with the clause theorems, bottom-up and
    memoised. *)
-let simp_conv tm =
+let simp_conv =
   Conv.memo_top_depth_conv
     (Conv.orelsec (Conv.rewrs_conv simp_rewrites) Pairs.let_proj_conv)
-    tm
 
-let resynthesize level c =
+let resynthesize ?budget level c =
+  Conv.with_poll (Synthesis.budget_poll budget) @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let simplified = Simplify.constant_prop c in
   let e1 = Embed.embed level c in
@@ -20,8 +20,10 @@ let resynthesize level c =
   (* |- !i s. fd1 i s = fd2 i s *)
   let i = e1.Embed.i_var and s = e1.Embed.s_var in
   let app fd = Term.mk_comb (Term.mk_comb fd i) s in
+  Synthesis.budget_check budget ();
   let th1 = simp_conv (app e1.Embed.fd) in
   let th2 = simp_conv (app e2.Embed.fd) in
+  Synthesis.budget_check budget ();
   if not (Term.aconv (Drule.rhs th1) (Drule.rhs th2)) then
     Errors.join_mismatch
       "netlist simplifier and logical rewrite system disagree";

@@ -11,6 +11,9 @@
     The result is a {!Synthesis.step}, so it composes with retiming steps
     through {!Synthesis.compose} — one transitivity rule. *)
 
-val resynthesize : Embed.level -> Circuit.t -> Synthesis.step
-(** @raise Errors.Join_mismatch if the netlist simplifier and the logical
+val resynthesize :
+  ?budget:Engines.Common.budget -> Embed.level -> Circuit.t -> Synthesis.step
+(** When [budget] is given, polls the deadline and raises
+    [Engines.Common.Out_of_budget] past it.
+    @raise Errors.Join_mismatch if the netlist simplifier and the logical
     rewrite system ever disagree (a bug trap, not a user error). *)

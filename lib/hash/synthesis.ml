@@ -21,10 +21,28 @@ let now () = Unix.gettimeofday ()
 
 let eval_conv = Automata.Words.word_eval_conv
 
-let retime_common level c cut_opt gates =
+(* Budget enforcement: phase boundaries call [check] directly; inside the
+   long normalisation runs the installed Conv poll hook checks the clock
+   every 256 memo misses (polling gettimeofday per node would dominate). *)
+let budget_check budget () =
+  match budget with None -> () | Some b -> Engines.Common.check b
+
+let budget_poll budget =
+  match budget with
+  | None -> fun () -> ()
+  | Some b ->
+      let n = ref 0 in
+      fun () ->
+        incr n;
+        if !n land 255 = 0 then Engines.Common.check b
+
+let retime_common ?budget level c cut_opt gates =
+  let check = budget_check budget in
+  Conv.with_poll (budget_poll budget) @@ fun () ->
   let t0 = now () in
   let e = Embed.embed level c in
   let t1 = now () in
+  check ();
   (* step 1: split *)
   let sp =
     match cut_opt with
@@ -32,6 +50,7 @@ let retime_common level c cut_opt gates =
     | None -> Split.split_gates e gates
   in
   let t2 = now () in
+  check ();
   (* step 2: instantiate the universal retiming theorem *)
   let tyin =
     [ ("a", e.Embed.i_ty); ("b", e.Embed.s_ty); ("c", e.Embed.o_ty);
@@ -59,6 +78,7 @@ let retime_common level c cut_opt gates =
   in
   let th_ab = Kernel.trans th_a th_univ in
   let t3 = now () in
+  check ();
   (* step 3: join — the right-hand side equals the embedding of the
      conventionally retimed netlist *)
   let cut =
@@ -79,6 +99,7 @@ let retime_common level c cut_opt gates =
       "derived combinational part differs from the retimed netlist";
   let th_fd2 = Kernel.trans thn1 (Drule.sym thn2) in
   let t4 = now () in
+  check ();
   (* step 4: evaluate the new initial state f(q) *)
   let rhs_auto = snd (Term.dest_eq (Kernel.concl th_ab)) in
   let fq = snd (Term.dest_comb rhs_auto) in
@@ -110,8 +131,8 @@ let retime_common level c cut_opt gates =
       };
   }
 
-let retime level c cut = retime_common level c (Some cut) []
-let retime_gates level c gates = retime_common level c None gates
+let retime ?budget level c cut = retime_common ?budget level c (Some cut) []
+let retime_gates ?budget level c gates = retime_common ?budget level c None gates
 
 let compose s1 s2 =
   if not (Term.aconv s1.rhs_term s2.lhs_term) then

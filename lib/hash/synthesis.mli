@@ -31,11 +31,27 @@ type step = {
   timings : timings;
 }
 
-val retime : Embed.level -> Circuit.t -> Cut.t -> step
-(** Formally retime over the given cut.
+val budget_check : Engines.Common.budget option -> unit -> unit
+(** [budget_check budget ()] raises [Engines.Common.Out_of_budget] when a
+    budget is present and its deadline has passed.  Shared with
+    {!Resynth}. *)
+
+val budget_poll : Engines.Common.budget option -> unit -> unit
+(** A cheap poll hook for {!Logic.Conv.with_poll}: checks the clock every
+    256 calls. *)
+
+val retime : ?budget:Engines.Common.budget -> Embed.level -> Circuit.t -> Cut.t -> step
+(** Formally retime over the given cut.  When [budget] is given, the
+    procedure polls the deadline at phase boundaries and inside the
+    normalisation loops and raises [Engines.Common.Out_of_budget] past it.
     @raise Errors.Cut_mismatch on cuts that do not match the pattern. *)
 
-val retime_gates : Embed.level -> Circuit.t -> Circuit.signal list -> step
+val retime_gates :
+  ?budget:Engines.Common.budget ->
+  Embed.level ->
+  Circuit.t ->
+  Circuit.signal list ->
+  step
 (** Accepts a raw, unvalidated gate set straight from a (possibly faulty)
     heuristic — the paper's §IV.C scenario.
     @raise Errors.Cut_mismatch *)

@@ -43,8 +43,11 @@ let and_tm = Kernel.mk_const "/\\" []
 let mk_conj p q = Term.list_mk_comb and_tm [ p; q ]
 
 let dest_conj tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const ("/\\", _), p), q) -> (p, q)
+  match tm.Term.node with
+  | Term.Comb
+      ( { Term.node = Term.Comb ({ Term.node = Term.Const ("/\\", _); _ }, p); _ },
+        q ) ->
+      (p, q)
   | _ -> failwith "Boolean.dest_conj"
 
 let beta_redex_conv tm = Drule.beta_conv tm
@@ -115,8 +118,11 @@ let imp_tm = Kernel.mk_const "==>" []
 let mk_imp p q = Term.list_mk_comb imp_tm [ p; q ]
 
 let dest_imp tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const ("==>", _), p), q) -> (p, q)
+  match tm.Term.node with
+  | Term.Comb
+      ( { Term.node = Term.Comb ({ Term.node = Term.Const ("==>", _); _ }, p); _ },
+        q ) ->
+      (p, q)
   | _ -> failwith "Boolean.dest_imp"
 
 let mp thi th =
@@ -169,8 +175,11 @@ let mk_forall x p =
 let list_mk_forall xs p = List.fold_right mk_forall xs p
 
 let dest_forall tm =
-  match tm with
-  | Term.Comb (Term.Const ("!", _), Term.Abs (v, b)) -> (v, b)
+  match tm.Term.node with
+  | Term.Comb
+      ( { Term.node = Term.Const ("!", _); _ },
+        { Term.node = Term.Abs (v, b); _ } ) ->
+      (v, b)
   | _ -> failwith "Boolean.dest_forall"
 
 let expand1 def tm =
@@ -228,8 +237,8 @@ let not_tm = Kernel.mk_const "~" []
 let mk_neg p = Term.mk_comb not_tm p
 
 let dest_neg tm =
-  match tm with
-  | Term.Comb (Term.Const ("~", _), p) -> p
+  match tm.Term.node with
+  | Term.Comb ({ Term.node = Term.Const ("~", _); _ }, p) -> p
   | _ -> failwith "Boolean.dest_neg"
 
 (* ------------------------------------------------------------------ *)
@@ -468,5 +477,5 @@ let eval_rewrites =
   and_clauses @ or_clauses @ not_clauses @ xor_clauses @ eq_bool_clauses
   @ cond_clauses
 
-let bool_eval_conv tm =
-  Conv.memo_top_depth_conv (Conv.rewrs_conv eval_rewrites) tm
+(* Partial application: the normalisation memo persists across calls. *)
+let bool_eval_conv = Conv.memo_top_depth_conv (Conv.rewrs_conv eval_rewrites)

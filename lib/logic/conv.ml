@@ -45,7 +45,7 @@ let comb_conv c tm =
 let binder_conv c tm = rand_conv (abs_conv c) tm
 
 let sub_conv c tm =
-  match tm with
+  match tm.Term.node with
   | Term.Comb (_, _) -> comb_conv c tm
   | Term.Abs (_, _) -> abs_conv c tm
   | _ -> all_conv tm
@@ -75,54 +75,74 @@ let rewr_conv th tm =
   (* Align possible alpha-differences between the instantiated lhs and the
      original term. *)
   let l' = Drule.lhs th' in
-  if l' = tm then th' else Kernel.trans (Drule.alpha_link tm l') th'
+  if l' == tm then th' else Kernel.trans (Drule.alpha_link tm l') th'
 
 let rewrs_conv ths = first_conv (List.map rewr_conv ths)
 let rewrite_conv ths = top_depth_conv (rewrs_conv ths)
 
-let memo_top_depth_conv c tm =
-  let memo : thm Term.Phys_tbl.t = Term.Phys_tbl.create 1024 in
-  let rec norm tm =
-    match Term.Phys_tbl.find_opt memo tm with
-    | Some th -> th
-    | None ->
-        let th = step tm in
-        Term.Phys_tbl.add memo tm th;
-        th
-  and step tm =
-    (* Reduce at the top as long as possible, then normalise children and
-       retry the top (child normalisation can expose new redexes). *)
-    let th1 = repeat_top tm in
-    let tm1 = Drule.rhs th1 in
-    let th2 =
-      match tm1 with
-      | Term.Comb (f, x) ->
-          let thf = norm f and thx = norm x in
-          Kernel.trans th1 (Kernel.mk_comb_rule thf thx)
-      | Term.Abs (v, body) ->
-          let thb = norm body in
-          Kernel.trans th1 (Kernel.abs v thb)
-      | _ -> th1
-    in
-    let tm2 = Drule.rhs th2 in
-    if tm2 == tm1 || Term.aconv tm2 tm1 then th2
-    else
-      let th3 = try_top tm2 in
-      Kernel.trans th2 th3
-  and repeat_top tm =
-    match (try Some (c tm) with Failure _ -> None) with
-    | None -> Kernel.refl tm
-    | Some th ->
-        let tm' = Drule.rhs th in
-        if Term.aconv tm' tm then Kernel.refl tm
-        else Kernel.trans th (repeat_top tm')
-  and try_top tm =
-    match (try Some (c tm) with Failure _ -> None) with
-    | None -> Kernel.refl tm
-    | Some th ->
-        let th' = norm (Drule.rhs th) in
-        Kernel.trans th th'
-  in
-  norm tm
+(* Hook polled once per memo miss inside the normaliser below; the
+   synthesis layer installs a budget check here so long normalisation runs
+   can time out without threading a deadline through every conversion. *)
+let poll : (unit -> unit) ref = ref (fun () -> ())
 
+let with_poll hook f =
+  let saved = !poll in
+  poll := hook;
+  Fun.protect ~finally:(fun () -> poll := saved) f
+
+let memo_top_depth_conv c =
+  (* The memo is allocated once per *partial application* and persists
+     across calls: rewrite sets are context-independent, so a cached
+     [|- t = t'] stays valid forever.  Generation bumps (wholesale
+     invalidation when the table outgrows its cap) happen only between
+     top-level calls — evicting entries mid-recursion could re-expand
+     shared dag spines exponentially. *)
+  let memo : thm Memo.t = Memo.create ~bits:12 () in
+  fun tm0 ->
+    Memo.new_call memo;
+    let rec norm tm =
+      match Memo.find memo tm.Term.id with
+      | Some th -> th
+      | None ->
+          !poll ();
+          let th = step tm in
+          Memo.add memo tm.Term.id th;
+          th
+    and step tm =
+      (* Reduce at the top as long as possible, then normalise children and
+         retry the top (child normalisation can expose new redexes). *)
+      let th1 = repeat_top tm in
+      let tm1 = Drule.rhs th1 in
+      let th2 =
+        match tm1.Term.node with
+        | Term.Comb (f, x) ->
+            let thf = norm f and thx = norm x in
+            Kernel.trans th1 (Kernel.mk_comb_rule thf thx)
+        | Term.Abs (v, body) ->
+            let thb = norm body in
+            Kernel.trans th1 (Kernel.abs v thb)
+        | _ -> th1
+      in
+      let tm2 = Drule.rhs th2 in
+      if tm2 == tm1 || Term.aconv tm2 tm1 then th2
+      else
+        let th3 = try_top tm2 in
+        Kernel.trans th2 th3
+    and repeat_top tm =
+      match (try Some (c tm) with Failure _ -> None) with
+      | None -> Kernel.refl tm
+      | Some th ->
+          let tm' = Drule.rhs th in
+          if Term.aconv tm' tm then Kernel.refl tm
+          else Kernel.trans th (repeat_top tm')
+    and try_top tm =
+      match (try Some (c tm) with Failure _ -> None) with
+      | None -> Kernel.refl tm
+      | Some th ->
+          let th' = norm (Drule.rhs th) in
+          Kernel.trans th th'
+    in
+    norm tm0
+
+let memo_stats = Memo.stats
 let conv_rule c th = Kernel.eq_mp (c (Kernel.concl th)) th

@@ -61,9 +61,23 @@ val rewrite_conv : thm list -> conv
 (** Exhaustive top-down rewriting with the given equations. *)
 
 val memo_top_depth_conv : conv -> conv
-(** Like [top_depth_conv], but memoised on physical subterm identity, so
-    dag-shared subterms are converted once.  The base conversion must be
-    context-independent (true for all rewrite sets used here). *)
+(** Like [top_depth_conv], but memoised on interned node ids, so
+    dag-shared subterms are converted once.  The memo table is allocated
+    at {e partial application} and persists across calls — bind the result
+    ([let my_conv = memo_top_depth_conv c]) to share normalisation work
+    between invocations.  The table is generation-stamped: once it
+    outgrows its cap, the next top-level call bumps the generation and
+    lazily invalidates all entries (see {!Memo}).  The base conversion
+    must be context-independent (true for all rewrite sets used here). *)
+
+val with_poll : (unit -> unit) -> (unit -> 'a) -> 'a
+(** [with_poll hook f] runs [f ()] with [hook] installed as the
+    normaliser's poll function (called once per memo miss inside
+    {!memo_top_depth_conv}); the previous hook is restored on exit.  The
+    synthesis layer uses this to enforce time budgets. *)
+
+val memo_stats : unit -> int * int
+(** [(hits, misses)] accumulated across all conversion memo tables. *)
 
 val conv_rule : conv -> thm -> thm
 (** Apply a conversion to the conclusion of a theorem ([|- p] with

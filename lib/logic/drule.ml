@@ -17,9 +17,10 @@ let ap_thm th x = Kernel.mk_comb_rule th (Kernel.refl x)
 let alpha_link t1 t2 = Kernel.trans (Kernel.refl t1) (Kernel.refl t2)
 
 let beta_conv tm =
-  match tm with
-  | Term.Comb (Term.Abs (v, _), arg) when arg = v -> Kernel.beta tm
-  | Term.Comb ((Term.Abs (v, _) as f), arg) ->
+  match tm.Term.node with
+  | Term.Comb ({ Term.node = Term.Abs (v, _); _ }, arg) when arg == v ->
+      Kernel.beta tm
+  | Term.Comb (({ Term.node = Term.Abs (v, _); _ } as f), arg) ->
       let th = Kernel.beta (Term.mk_comb f v) in
       Kernel.inst [ (v, arg) ] th
   | _ -> failwith "Drule.beta_conv: not a beta-redex"

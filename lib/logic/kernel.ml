@@ -100,8 +100,8 @@ let mk_comb_rule th1 th2 =
   tick ();
   let f, g = Term.dest_eq th1.concl in
   let x, y = Term.dest_eq th2.concl in
-  (match Term.type_of f with
-  | Ty.Tyapp ("fun", [ a; _ ]) when Ty.equal a (Term.type_of x) -> ()
+  (match (Term.type_of f).Ty.node with
+  | Ty.Tyapp ("fun", [ a; _ ]) when a == Term.type_of x -> ()
   | _ -> failwith "Kernel.mk_comb_rule: types do not agree");
   {
     hyps = term_union th1.hyps th2.hyps;
@@ -122,8 +122,8 @@ let abs v th =
 
 let beta tm =
   tick ();
-  match tm with
-  | Term.Comb (Term.Abs (v, body), arg) when arg = v ->
+  match tm.Term.node with
+  | Term.Comb ({ Term.node = Term.Abs (v, body); _ }, arg) when arg == v ->
       { hyps = []; concl = Term.mk_eq tm body }
   | _ -> failwith "Kernel.beta: not a trivial beta-redex"
 

@@ -1,0 +1,122 @@
+(* Generation-stamped memo tables keyed on interned node ids, mirroring
+   the BDD engine's operation caches.  Unlike those, entries are never
+   evicted within a generation: the conversion memo protects against
+   exponential re-expansion of shared dag spines, so a lossy direct-mapped
+   cache would be unsound performance-wise.  Instead, when a table's live
+   population crosses its cap the generation counter is bumped, which
+   lazily invalidates every entry; stale slots are reused by later inserts
+   (replacing slot contents never breaks open-addressing probe chains —
+   only emptying a slot would) and dropped wholesale at the next resize.
+
+   Generation bumps must only happen between top-level calls of the
+   memoised function (see [new_call]), never mid-recursion. *)
+
+type 'a t = {
+  mutable keys : int array; (* -1 = never used *)
+  mutable gens : int array;
+  mutable vals : 'a option array;
+  mutable mask : int;
+  mutable live : int; (* entries stamped with the current generation *)
+  mutable occupied : int; (* slots with keys.(i) >= 0, any generation *)
+  mutable gen : int;
+  cap : int; (* live entries allowed before a generation bump *)
+}
+
+(* Global hit/miss counters across all memo tables, for Obs snapshots. *)
+let hits = ref 0
+let misses = ref 0
+
+let hash_key k =
+  let h = k * 0x9e3779b9 in
+  let h = (h lxor (h lsr 16)) * 0x85ebca6b in
+  (h lxor (h lsr 13)) land max_int
+
+let create ?(bits = 10) ?(cap = 2_000_000) () =
+  let size = 1 lsl bits in
+  {
+    keys = Array.make size (-1);
+    gens = Array.make size 0;
+    vals = Array.make size None;
+    mask = size - 1;
+    live = 0;
+    occupied = 0;
+    gen = 0;
+    cap;
+  }
+
+let new_call t =
+  if t.live > t.cap then begin
+    t.gen <- t.gen + 1;
+    t.live <- 0
+  end
+
+let find t id =
+  let mask = t.mask in
+  let rec go i =
+    let k = t.keys.(i) in
+    if k < 0 then begin
+      incr misses;
+      None
+    end
+    else if k = id && t.gens.(i) = t.gen then begin
+      incr hits;
+      t.vals.(i)
+    end
+    else go ((i + 1) land mask)
+  in
+  go (hash_key id land mask)
+
+let resize t =
+  let old_keys = t.keys and old_gens = t.gens and old_vals = t.vals in
+  let size = 2 * Array.length old_keys in
+  let keys = Array.make size (-1) in
+  let gens = Array.make size 0 in
+  let vals = Array.make size None in
+  let mask = size - 1 in
+  let occupied = ref 0 in
+  (* only current-generation entries survive a resize *)
+  Array.iteri
+    (fun i k ->
+      if k >= 0 && old_gens.(i) = t.gen then begin
+        let rec place j =
+          if keys.(j) < 0 then begin
+            keys.(j) <- k;
+            gens.(j) <- t.gen;
+            vals.(j) <- old_vals.(i);
+            incr occupied
+          end
+          else place ((j + 1) land mask)
+        in
+        place (hash_key k land mask)
+      end)
+    old_keys;
+  t.keys <- keys;
+  t.gens <- gens;
+  t.vals <- vals;
+  t.mask <- mask;
+  t.occupied <- !occupied
+
+let add t id v =
+  let rec go i =
+    let k = t.keys.(i) in
+    if k < 0 then begin
+      t.keys.(i) <- id;
+      t.gens.(i) <- t.gen;
+      t.vals.(i) <- Some v;
+      t.occupied <- t.occupied + 1;
+      t.live <- t.live + 1;
+      if t.occupied * 10 > Array.length t.keys * 7 then resize t
+    end
+    else if t.gens.(i) <> t.gen then begin
+      (* reuse a stale slot in place *)
+      t.keys.(i) <- id;
+      t.gens.(i) <- t.gen;
+      t.vals.(i) <- Some v;
+      t.live <- t.live + 1
+    end
+    else if k = id then t.vals.(i) <- Some v
+    else go ((i + 1) land t.mask)
+  in
+  go (hash_key id land t.mask)
+
+let stats () = (!hits, !misses)

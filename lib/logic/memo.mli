@@ -1,0 +1,30 @@
+(** Generation-stamped memo tables keyed on interned node ids.
+
+    The persistence layer behind {!Conv.memo_top_depth_conv} and friends:
+    an open-addressed table whose entries are {e never} evicted within a
+    generation (eviction mid-recursion on a shared dag spine would cause
+    exponential re-expansion).  When the live population crosses [cap],
+    the next {!new_call} bumps the generation, lazily invalidating all
+    entries; stale slots are then reused in place by later inserts and
+    discarded at the next resize. *)
+
+type 'a t
+
+val create : ?bits:int -> ?cap:int -> unit -> 'a t
+(** [create ~bits ~cap ()] makes a table with initial size [2^bits]
+    (default 10) that bumps its generation once more than [cap]
+    (default 2M) live entries accumulate. *)
+
+val new_call : 'a t -> unit
+(** Declare a top-level call boundary: the only point where a generation
+    bump (wholesale invalidation) may take place.  Call it on entry to the
+    memoised function, never mid-recursion. *)
+
+val find : 'a t -> int -> 'a option
+(** Lookup by node id, current generation only.  Counts a global hit or
+    miss (see {!stats}). *)
+
+val add : 'a t -> int -> 'a -> unit
+
+val stats : unit -> int * int
+(** [(hits, misses)] accumulated across every memo table since startup. *)

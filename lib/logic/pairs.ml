@@ -26,18 +26,27 @@ let rec list_mk_pair = function
       mk_pair (list_mk_pair left) (list_mk_pair right)
 
 let dest_pair tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const (",", _), x), y) -> (x, y)
+  match tm.Term.node with
+  | Term.Comb
+      ({ Term.node = Term.Comb ({ Term.node = Term.Const (",", _); _ }, x); _ }, y)
+    ->
+      (x, y)
   | _ -> failwith "Pairs.dest_pair"
 
 let is_pair tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const (",", _), _), _) -> true
+  match tm.Term.node with
+  | Term.Comb
+      ({ Term.node = Term.Comb ({ Term.node = Term.Const (",", _); _ }, _); _ }, _)
+    ->
+      true
   | _ -> false
 
 let rec strip_pair tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const (",", _), x), y) -> x :: strip_pair y
+  match tm.Term.node with
+  | Term.Comb
+      ({ Term.node = Term.Comb ({ Term.node = Term.Const (",", _); _ }, x); _ }, y)
+    ->
+      x :: strip_pair y
   | _ -> [ tm ]
 
 let mk_fst p =
@@ -74,14 +83,31 @@ let mk_let v e body =
   Term.list_mk_comb (let_const a b) [ Term.mk_abs v body; e ]
 
 let dest_let tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const ("LET", _), Term.Abs (v, body)), e) ->
+  match tm.Term.node with
+  | Term.Comb
+      ( {
+          Term.node =
+            Term.Comb
+              ( { Term.node = Term.Const ("LET", _); _ },
+                { Term.node = Term.Abs (v, body); _ } );
+          _;
+        },
+        e ) ->
       (v, e, body)
   | _ -> failwith "Pairs.dest_let"
 
 let is_let tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const ("LET", _), Term.Abs (_, _)), _) -> true
+  match tm.Term.node with
+  | Term.Comb
+      ( {
+          Term.node =
+            Term.Comb
+              ( { Term.node = Term.Const ("LET", _); _ },
+                { Term.node = Term.Abs (_, _); _ } );
+          _;
+        },
+        _ ) ->
+      true
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
@@ -109,8 +135,10 @@ let pair_eta =
 (* ------------------------------------------------------------------ *)
 
 let let_conv tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const ("LET", _), f), _) ->
+  match tm.Term.node with
+  | Term.Comb
+      ({ Term.node = Term.Comb ({ Term.node = Term.Const ("LET", _); _ }, f); _ }, _)
+    ->
       let th1 =
         Conv.rator_conv (Conv.rator_conv (Conv.rewr_conv let_def)) tm
       in
@@ -126,10 +154,14 @@ let let_conv tm =
 (* Direct instantiation of the pairing axioms — avoids the generic
    matcher on the hottest reduction of the circuit normaliser. *)
 let proj_conv tm =
-  match tm with
+  match tm.Term.node with
   | Term.Comb
-      (Term.Const ("FST", _),
-       Term.Comb (Term.Comb (Term.Const (",", _), x), y)) ->
+      ( { Term.node = Term.Const ("FST", _); _ },
+        {
+          Term.node =
+            Term.Comb ({ Term.node = Term.Comb ({ Term.node = Term.Const (",", _); _ }, x); _ }, y);
+          _;
+        } ) ->
       let th =
         Kernel.inst_type
           [ ("a", Term.type_of x); ("b", Term.type_of y) ]
@@ -139,8 +171,12 @@ let proj_conv tm =
       and yv = Term.mk_var "y" (Term.type_of y) in
       Kernel.inst [ (xv, x); (yv, y) ] th
   | Term.Comb
-      (Term.Const ("SND", _),
-       Term.Comb (Term.Comb (Term.Const (",", _), x), y)) ->
+      ( { Term.node = Term.Const ("SND", _); _ },
+        {
+          Term.node =
+            Term.Comb ({ Term.node = Term.Comb ({ Term.node = Term.Const (",", _); _ }, x); _ }, y);
+          _;
+        } ) ->
       let th =
         Kernel.inst_type
           [ ("a", Term.type_of x); ("b", Term.type_of y) ]
@@ -152,10 +188,14 @@ let proj_conv tm =
   | _ -> failwith "Pairs.proj_conv: not a projection of a pair"
 
 let let_proj_conv tm =
-  match tm with
-  | Term.Comb (Term.Comb (Term.Const ("LET", _), _), _) -> let_conv tm
-  | Term.Comb (Term.Const (("FST" | "SND"), _), _) -> proj_conv tm
-  | Term.Comb (Term.Abs (_, _), _) -> Drule.beta_conv tm
+  match tm.Term.node with
+  | Term.Comb
+      ({ Term.node = Term.Comb ({ Term.node = Term.Const ("LET", _); _ }, _); _ }, _)
+    ->
+      let_conv tm
+  | Term.Comb ({ Term.node = Term.Const (("FST" | "SND"), _); _ }, _) ->
+      proj_conv tm
+  | Term.Comb ({ Term.node = Term.Abs (_, _); _ }, _) -> Drule.beta_conv tm
   | _ -> failwith "Pairs.let_proj_conv: no redex"
 
 let mk_pair_eq th1 th2 =

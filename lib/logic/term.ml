@@ -1,207 +1,263 @@
-type t =
+(* Hash-consed terms.  Every node is interned in a weak hash-set, so
+   structurally equal terms are physically equal, [aconv] and the
+   substitution machinery get O(1) equality fast paths, [type_of] is a
+   field read, and the free-variable set of every node is a precomputed
+   exact bitset over compact variable indices.  The table is weak: kernel
+   rules allocate equation spines per theorem (millions of nodes on the
+   big benchmarks) and a strong table would pin them all; uniqueness only
+   needs to hold among live nodes, and ids are never reused, so entries of
+   collected nodes simply vanish. *)
+
+type t = {
+  id : int; (* unique; first field so polymorphic compare is O(1) *)
+  hash : int;
+  ty : Ty.t; (* cached type_of *)
+  fv : Bits.t; (* exact free-variable set, by compact var index *)
+  node : node;
+}
+
+and node =
   | Var of string * Ty.t
   | Const of string * Ty.t
   | Comb of t * t
   | Abs of t * t
 
-(* Hash table keyed on physical identity.  [Hashtbl.hash] only inspects a
-   bounded number of nodes, so hashing is O(1) even on huge terms. *)
-module Phys_tbl = Hashtbl.Make (struct
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mix h k =
+  let h = h + (k * 0x2545f4914f6cdd1) in
+  let h = (h lxor (h lsr 29)) * 0x85ebca6b in
+  (h lxor (h lsr 16)) land max_int
+
+(* Shallow equality: children and types are already interned, so one
+   physical comparison per field decides structural equality. *)
+module H = struct
   type nonrec t = t
 
-  let equal = ( == )
-  let hash = Hashtbl.hash
-end)
+  let equal a b =
+    match (a.node, b.node) with
+    | Var (n1, t1), Var (n2, t2) -> t1 == t2 && String.equal n1 n2
+    | Const (n1, t1), Const (n2, t2) -> t1 == t2 && String.equal n1 n2
+    | Comb (f1, x1), Comb (f2, x2) -> f1 == f2 && x1 == x2
+    | Abs (v1, b1), Abs (v2, b2) -> v1 == v2 && b1 == b2
+    | _ -> false
+
+  let hash a = a.hash
+end
+
+module W = Weak.Make (H)
+
+let itab = W.create 65536
+let next_id = ref 0
+let mk_calls = ref 0
+let intern_hits = ref 0
+let intern_misses = ref 0
+let peak = ref 0
+
+let intern ~hash ~ty ~fv node =
+  incr mk_calls;
+  let candidate = { id = !next_id; hash; ty; fv; node } in
+  let r = W.merge itab candidate in
+  if r == candidate then begin
+    incr next_id;
+    incr intern_misses;
+    (* sample the live population now and then to track the peak *)
+    if !intern_misses land 0xFFFF = 0 then begin
+      let live = W.count itab in
+      if live > !peak then peak := live
+    end
+  end
+  else incr intern_hits;
+  r
+
+type stats = {
+  mk_calls : int;
+  intern_hits : int;
+  intern_misses : int;
+  live_nodes : int;
+  peak_nodes : int;
+  var_count : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Variable indexing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every distinct (name, type) variable gets a compact index at creation;
+   [fv] bitsets live over these indices.  The reverse array pins the Var
+   nodes (there are few distinct variables compared to term nodes). *)
+let var_index_tbl : (string * int, int) Hashtbl.t = Hashtbl.create 1024
+
+let var_terms : t option array ref = ref (Array.make 1024 None)
+let n_vars = ref 0
+
+let var_index_of_key n ty_id =
+  match Hashtbl.find_opt var_index_tbl (n, ty_id) with
+  | Some i -> i
+  | None ->
+      let i = !n_vars in
+      incr n_vars;
+      Hashtbl.add var_index_tbl (n, ty_id) i;
+      if i >= Array.length !var_terms then begin
+        let arr = Array.make (2 * Array.length !var_terms) None in
+        Array.blit !var_terms 0 arr 0 (Array.length !var_terms);
+        var_terms := arr
+      end;
+      i
+
+let var_of_index i =
+  match !var_terms.(i) with
+  | Some v -> v
+  | None -> failwith "Term.var_of_index: unregistered index"
 
 (* ------------------------------------------------------------------ *)
 (* Constructors / destructors                                          *)
 (* ------------------------------------------------------------------ *)
 
-let mk_var n ty = Var (n, ty)
-let mk_const_raw n ty = Const (n, ty)
+let mk_var n ty =
+  let idx = var_index_of_key n ty.Ty.id in
+  let tm =
+    intern
+      ~hash:(mix (mix 1 (Hashtbl.hash n)) ty.Ty.id)
+      ~ty ~fv:(Bits.singleton idx) (Var (n, ty))
+  in
+  (match !var_terms.(idx) with
+  | None -> !var_terms.(idx) <- Some tm
+  | Some _ -> ());
+  tm
 
-let rec type_of tm =
-  match tm with
-  | Var (_, ty) | Const (_, ty) -> ty
-  | Comb (f, _) -> snd (Ty.dest_fn (type_of f))
-  | Abs (Var (_, ty), body) -> Ty.fn ty (type_of body)
-  | Abs (_, _) -> assert false
+let mk_const_raw n ty =
+  intern
+    ~hash:(mix (mix 2 (Hashtbl.hash n)) ty.Ty.id)
+    ~ty ~fv:Bits.empty (Const (n, ty))
+
+let type_of tm = tm.ty
 
 let mk_comb f x =
-  match type_of f with
-  | Ty.Tyapp ("fun", [ a; _ ]) when Ty.equal a (type_of x) -> Comb (f, x)
+  match f.ty.Ty.node with
+  | Ty.Tyapp ("fun", [ a; b ]) when a == x.ty ->
+      intern
+        ~hash:(mix (mix 3 f.id) x.id)
+        ~ty:b ~fv:(Bits.union f.fv x.fv) (Comb (f, x))
   | _ -> failwith "Term.mk_comb: types do not agree"
 
 let mk_abs v body =
-  match v with
-  | Var _ -> Abs (v, body)
+  match v.node with
+  | Var _ ->
+      intern
+        ~hash:(mix (mix 4 v.id) body.id)
+        ~ty:(Ty.fn v.ty body.ty)
+        ~fv:(Bits.remove (Bits.choose v.fv) body.fv)
+        (Abs (v, body))
   | _ -> failwith "Term.mk_abs: binder must be a variable"
 
 let list_mk_comb f args = List.fold_left mk_comb f args
 let list_mk_abs vars body = List.fold_right mk_abs vars body
-
-let eq_const ty = Const ("=", Ty.fn ty (Ty.fn ty Ty.bool))
+let eq_const ty = mk_const_raw "=" (Ty.fn ty (Ty.fn ty Ty.bool))
 
 let mk_eq l r =
-  let ty = type_of l in
-  if not (Ty.equal ty (type_of r)) then
-    failwith "Term.mk_eq: sides have different types"
-  else Comb (Comb (eq_const ty, l), r)
+  if l.ty != r.ty then failwith "Term.mk_eq: sides have different types"
+  else mk_comb (mk_comb (eq_const l.ty) l) r
 
-let dest_var = function
+let dest_var tm =
+  match tm.node with
   | Var (n, ty) -> (n, ty)
   | _ -> failwith "Term.dest_var"
 
-let dest_const = function
+let dest_const tm =
+  match tm.node with
   | Const (n, ty) -> (n, ty)
   | _ -> failwith "Term.dest_const"
 
-let dest_comb = function
-  | Comb (f, x) -> (f, x)
-  | _ -> failwith "Term.dest_comb"
+let dest_comb tm =
+  match tm.node with Comb (f, x) -> (f, x) | _ -> failwith "Term.dest_comb"
 
-let dest_abs = function
-  | Abs (v, b) -> (v, b)
-  | _ -> failwith "Term.dest_abs"
+let dest_abs tm =
+  match tm.node with Abs (v, b) -> (v, b) | _ -> failwith "Term.dest_abs"
 
-let dest_eq = function
-  | Comb (Comb (Const ("=", _), l), r) -> (l, r)
+let dest_eq tm =
+  match tm.node with
+  | Comb ({ node = Comb ({ node = Const ("=", _); _ }, l); _ }, r) -> (l, r)
   | _ -> failwith "Term.dest_eq"
 
-let is_var = function Var _ -> true | _ -> false
-let is_const = function Const _ -> true | _ -> false
-let is_comb = function Comb _ -> true | _ -> false
-let is_abs = function Abs _ -> true | _ -> false
-let is_eq = function Comb (Comb (Const ("=", _), _), _) -> true | _ -> false
+let is_var tm = match tm.node with Var _ -> true | _ -> false
+let is_const tm = match tm.node with Const _ -> true | _ -> false
+let is_comb tm = match tm.node with Comb _ -> true | _ -> false
+let is_abs tm = match tm.node with Abs _ -> true | _ -> false
+
+let is_eq tm =
+  match tm.node with
+  | Comb ({ node = Comb ({ node = Const ("=", _); _ }, _); _ }, _) -> true
+  | _ -> false
+
 let rator tm = fst (dest_comb tm)
 let rand tm = snd (dest_comb tm)
 
 let strip_comb tm =
   let rec go tm acc =
-    match tm with Comb (f, x) -> go f (x :: acc) | _ -> (tm, acc)
+    match tm.node with Comb (f, x) -> go f (x :: acc) | _ -> (tm, acc)
   in
   go tm []
 
 (* ------------------------------------------------------------------ *)
-(* Free variables (memoised)                                           *)
+(* Free variables                                                      *)
 (* ------------------------------------------------------------------ *)
 
-module VS = Set.Make (struct
-  type nonrec t = string * Ty.t
+let frees tm = List.map var_of_index (Bits.elements tm.fv)
 
-  let compare = Stdlib.compare
-end)
-
-let frees_cache : VS.t Phys_tbl.t = Phys_tbl.create 4096
-
-let maybe_trim () =
-  if Phys_tbl.length frees_cache > 2_000_000 then Phys_tbl.reset frees_cache
-
-let rec free_set tm =
-  match Phys_tbl.find_opt frees_cache tm with
-  | Some s -> s
-  | None ->
-      let s =
-        match tm with
-        | Var (n, ty) -> VS.singleton (n, ty)
-        | Const _ -> VS.empty
-        | Comb (f, x) -> VS.union (free_set f) (free_set x)
-        | Abs (Var (n, ty), b) -> VS.remove (n, ty) (free_set b)
-        | Abs (_, _) -> assert false
-      in
-      maybe_trim ();
-      Phys_tbl.add frees_cache tm s;
-      s
-
-let frees tm =
-  List.map (fun (n, ty) -> Var (n, ty)) (VS.elements (free_set tm))
-
-(* A 63-bit bloom mask over-approximating the free variables of a term:
-   O(1) union, cached per physical node.  Used to prune substitution
-   traversals without ever materialising the (possibly large) exact sets
-   of the spine nodes of circuit terms. *)
-let mask_cache : int Phys_tbl.t = Phys_tbl.create 4096
-
-let var_bit n ty = 1 lsl (Hashtbl.hash (n, ty) mod 63)
-
-let rec free_mask tm =
-  match Phys_tbl.find_opt mask_cache tm with
-  | Some m -> m
-  | None ->
-      let m =
-        match tm with
-        | Var (n, ty) -> var_bit n ty
-        | Const _ -> 0
-        | Comb (f, x) -> free_mask f lor free_mask x
-        | Abs (_, b) -> free_mask b
-      in
-      if Phys_tbl.length mask_cache > 4_000_000 then
-        Phys_tbl.reset mask_cache;
-      Phys_tbl.add mask_cache tm m;
-      m
-
-let may_be_free v tm =
-  match v with
-  | Var (n, ty) -> free_mask tm land var_bit n ty <> 0
-  | _ -> failwith "Term.may_be_free: not a variable"
-
-let free_in v tm =
-  match v with
-  | Var (n, ty) ->
-      free_mask tm land var_bit n ty <> 0 && VS.mem (n, ty) (free_set tm)
+let var_index v =
+  match v.node with
+  | Var _ -> Bits.choose v.fv
   | _ -> failwith "Term.free_in: not a variable"
+
+let free_in v tm = Bits.mem (var_index v) tm.fv
 
 let variant avoid v =
   let names =
-    List.filter_map (function Var (n, _) -> Some n | _ -> None) avoid
+    List.filter_map
+      (fun tm -> match tm.node with Var (n, _) -> Some n | _ -> None)
+      avoid
   in
-  match v with
+  match v.node with
   | Var (n, ty) ->
       let rec go n = if List.mem n names then go (n ^ "'") else n in
-      Var (go n, ty)
+      mk_var (go n) ty
   | _ -> failwith "Term.variant: not a variable"
 
 (* ------------------------------------------------------------------ *)
 (* Alpha equivalence and ordering                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Alpha-ordering is pair-memoised on physical identities whenever the
-   binder environment is trivial (empty or identically-paired), which is
-   the common case when comparing the dag-shaped normal forms of circuit
+(* Alpha-ordering is memoised on packed id pairs whenever the binder
+   environment is trivial (empty or identically-paired), which is the
+   common case when comparing the dag-shaped normal forms of circuit
    terms; without the memo such comparisons would be exponential in the
    dag depth.  An environment pair (v, v) constrains nothing, so it can be
    dropped for memoisation purposes. *)
-module Pair_tbl = Hashtbl.Make (struct
-  type nonrec t = t * t
-
-  let equal (a1, b1) (a2, b2) = a1 == a2 && b1 == b2
-  let hash (a, b) = (Hashtbl.hash a * 65599) + Hashtbl.hash b
-end)
-
-let orda_cache : int Pair_tbl.t = Pair_tbl.create 4096
+let orda_cache : (int, int) Hashtbl.t = Hashtbl.create 4096
 
 let rec orda_memo t1 t2 =
   if t1 == t2 then 0
   else
-    match Pair_tbl.find_opt orda_cache (t1, t2) with
+    let key = (t1.id lsl 31) lor t2.id in
+    match Hashtbl.find_opt orda_cache key with
     | Some c -> c
     | None ->
         let c =
-          match (t1, t2) with
-          | Var _, Var _ -> Stdlib.compare t1 t2
-          | Const (n1, ty1), Const (n2, ty2) ->
-              let c = Stdlib.compare n1 n2 in
-              if c <> 0 then c else Ty.compare ty1 ty2
+          match (t1.node, t2.node) with
+          | Var _, Var _ | Const _, Const _ ->
+              (* interned: distinct nodes are unequal, order by id *)
+              Int.compare t1.id t2.id
           | Comb (f1, x1), Comb (f2, x2) ->
               let c = orda_memo f1 f2 in
               if c <> 0 then c else orda_memo x1 x2
-          | Abs ((Var (_, ty1) as v1), b1), Abs ((Var (_, ty2) as v2), b2)
-            ->
-              let c = Ty.compare ty1 ty2 in
-              if c <> 0 then c
-              else if v1 = v2 then orda_memo b1 b2
-              else orda_plain [ (v1, v2) ] b1 b2
-          | Abs _, Abs _ -> assert false
+          | Abs (v1, b1), Abs (v2, b2) ->
+              if v1 == v2 then orda_memo b1 b2
+              else
+                let c = Ty.compare v1.ty v2.ty in
+                if c <> 0 then c else orda_plain [ (v1, v2) ] b1 b2
           | Var _, _ -> -1
           | _, Var _ -> 1
           | Const _, _ -> -1
@@ -209,26 +265,23 @@ let rec orda_memo t1 t2 =
           | Comb _, _ -> -1
           | _, Comb _ -> 1
         in
-        if Pair_tbl.length orda_cache > 2_000_000 then
-          Pair_tbl.reset orda_cache;
-        Pair_tbl.add orda_cache (t1, t2) c;
+        if Hashtbl.length orda_cache > 2_000_000 then
+          Hashtbl.reset orda_cache;
+        Hashtbl.add orda_cache key c;
         c
 
 and orda_plain env t1 t2 =
   if t1 == t2 && List.for_all (fun (a, b) -> a == b) env then 0
   else
-    match (t1, t2) with
+    match (t1.node, t2.node) with
     | Var _, Var _ -> ord_var env t1 t2
-    | Const (n1, ty1), Const (n2, ty2) ->
-        let c = Stdlib.compare n1 n2 in
-        if c <> 0 then c else Ty.compare ty1 ty2
+    | Const _, Const _ -> Int.compare t1.id t2.id
     | Comb (f1, x1), Comb (f2, x2) ->
         let c = orda_plain env f1 f2 in
         if c <> 0 then c else orda_plain env x1 x2
-    | Abs ((Var (_, ty1) as v1), b1), Abs ((Var (_, ty2) as v2), b2) ->
-        let c = Ty.compare ty1 ty2 in
+    | Abs (v1, b1), Abs (v2, b2) ->
+        let c = Ty.compare v1.ty v2.ty in
         if c <> 0 then c else orda_plain ((v1, v2) :: env) b1 b2
-    | Abs _, Abs _ -> assert false
     | Var _, _ -> -1
     | _, Var _ -> 1
     | Const _, _ -> -1
@@ -240,9 +293,9 @@ and ord_var env v1 v2 =
   (* Walk the binder environment: a bound variable compares equal exactly
      to its partner at the same binding depth. *)
   match env with
-  | [] -> Stdlib.compare v1 v2
+  | [] -> Int.compare v1.id v2.id
   | (b1, b2) :: rest ->
-      let e1 = v1 = b1 and e2 = v2 = b2 in
+      let e1 = v1 == b1 and e2 = v2 == b2 in
       if e1 && e2 then 0
       else if e1 then -1
       else if e2 then 1
@@ -258,94 +311,82 @@ let aconv t1 t2 = alphaorder t1 t2 = 0
 let check_subst_types theta =
   List.iter
     (fun (v, t) ->
-      match v with
-      | Var (_, ty) ->
-          if not (Ty.equal ty (type_of t)) then
-            failwith "Term.vsubst: ill-typed binding"
+      match v.node with
+      | Var _ ->
+          if v.ty != t.ty then failwith "Term.vsubst: ill-typed binding"
       | _ -> failwith "Term.vsubst: domain element is not a variable")
     theta
 
-let domain_mask theta =
-  List.fold_left
-    (fun acc (dv, _) ->
-      match dv with
-      | Var (n, ty) -> acc lor var_bit n ty
-      | _ -> acc)
-    0 theta
+let domain_set theta =
+  List.fold_left (fun acc (dv, _) -> Bits.union acc dv.fv) Bits.empty theta
 
-(* The recursive worker carries a memo table valid for the current
-   substitution [theta]; entering a binder that forces filtering or
-   renaming switches to a fresh table for that subtree.  [dmask] is the
-   bloom mask of the substitution's domain: subtrees whose free-variable
-   mask is disjoint from it are returned unchanged in O(1). *)
-let rec vsubst_go dmask theta memo tm =
-  if free_mask tm land dmask = 0 then tm
+(* The recursive worker carries a memo table (keyed on node id, valid for
+   the current substitution [theta]); entering a binder that forces
+   filtering or renaming switches to a fresh table for that subtree.
+   [dset] is the exact free-variable set of the substitution's domain:
+   subtrees whose own set is disjoint from it are returned unchanged. *)
+let rec vsubst_go dset theta memo tm =
+  if Bits.disjoint tm.fv dset then tm
   else
-    match Phys_tbl.find_opt memo tm with
+    match Hashtbl.find_opt memo tm.id with
     | Some r -> r
     | None ->
         let r =
-          match tm with
-        | Var _ -> (
-            match List.find_opt (fun (v, _) -> v = tm) theta with
-            | Some (_, t) -> t
-            | None -> tm)
-        | Const _ -> tm
-        | Comb (f, x) ->
-            let f' = vsubst_go dmask theta memo f in
-            let x' = vsubst_go dmask theta memo x in
-            if f' == f && x' == x then tm else Comb (f', x')
-        | Abs (v, body) ->
-            (* Prune via the O(1) bloom mask: substituting for a variable
-               that (definitely) does not occur below is a no-op, and the
-               mask never forces the exact free-variable sets of huge
-               circuit-term spines. *)
-            let theta' =
-              List.filter
-                (fun (dv, t) -> dv <> v && t <> dv && may_be_free dv body)
-                theta
-            in
-            if theta' = [] then tm
-            else if
-              List.exists
-                (fun (_, t) -> may_be_free v t && free_in v t)
-                theta'
-            then begin
-              (* Capture: rename the binder before substituting. *)
-              let avoid =
-                List.concat_map (fun (_, t) -> frees t) theta' @ frees body
+          match tm.node with
+          | Var _ -> (
+              match List.find_opt (fun (v, _) -> v == tm) theta with
+              | Some (_, t) -> t
+              | None -> tm)
+          | Const _ -> tm
+          | Comb (f, x) ->
+              let f' = vsubst_go dset theta memo f in
+              let x' = vsubst_go dset theta memo x in
+              if f' == f && x' == x then tm else mk_comb f' x'
+          | Abs (v, body) ->
+              (* The per-node sets are exact, so bindings whose variable
+                 does not occur below are dropped without any traversal. *)
+              let theta' =
+                List.filter
+                  (fun (dv, t) ->
+                    dv != v && t != dv && Bits.mem (var_index dv) body.fv)
+                  theta
               in
-              let v' = variant avoid v in
-              let body' =
-                vsubst_go (domain_mask [ (v, v') ]) [ (v, v') ]
-                  (Phys_tbl.create 16) body
-              in
-              let body'' =
-                vsubst_go (domain_mask theta') theta' (Phys_tbl.create 16)
-                  body'
-              in
-              Abs (v', body'')
-            end
-            else if List.length theta' = List.length theta then begin
-              let body' = vsubst_go dmask theta memo body in
-              if body' == body then tm else Abs (v, body')
-            end
-            else begin
-              let body' =
-                vsubst_go (domain_mask theta') theta' (Phys_tbl.create 16)
-                  body
-              in
-              if body' == body then tm else Abs (v, body')
-            end
+              if theta' = [] then tm
+              else if List.exists (fun (_, t) -> free_in v t) theta' then begin
+                (* Capture: rename the binder before substituting. *)
+                let avoid =
+                  List.concat_map (fun (_, t) -> frees t) theta' @ frees body
+                in
+                let v' = variant avoid v in
+                let body' =
+                  vsubst_go v.fv [ (v, v') ] (Hashtbl.create 16) body
+                in
+                let body'' =
+                  vsubst_go (domain_set theta') theta' (Hashtbl.create 16)
+                    body'
+                in
+                mk_abs v' body''
+              end
+              else if List.length theta' = List.length theta then begin
+                let body' = vsubst_go dset theta memo body in
+                if body' == body then tm else mk_abs v body'
+              end
+              else begin
+                let body' =
+                  vsubst_go (domain_set theta') theta' (Hashtbl.create 16)
+                    body
+                in
+                if body' == body then tm else mk_abs v body'
+              end
         in
-        Phys_tbl.add memo tm r;
+        Hashtbl.add memo tm.id r;
         r
 
 let vsubst theta tm =
   if theta = [] then tm
   else begin
     check_subst_types theta;
-    vsubst_go (domain_mask theta) theta (Phys_tbl.create 256) tm
+    vsubst_go (domain_set theta) theta (Hashtbl.create 256) tm
   end
 
 (* ------------------------------------------------------------------ *)
@@ -355,37 +396,37 @@ let vsubst theta tm =
 exception Clash of t
 
 let rec inst_go env tyin tm =
-  match tm with
+  match tm.node with
   | Var (n, ty) ->
       let ty' = Ty.subst tyin ty in
-      let tm' = if Ty.equal ty ty' then tm else Var (n, ty') in
+      let tm' = if ty' == ty then tm else mk_var n ty' in
       (* If a bound variable's image collides with the image of a distinct
          variable we must rename; detect this via the environment. *)
-      (match List.assoc_opt tm' env with
-      | Some orig when orig <> tm -> raise (Clash tm')
+      (match List.find_opt (fun (k, _) -> k == tm') env with
+      | Some (_, orig) when orig != tm -> raise (Clash tm')
       | _ -> ());
       tm'
   | Const (n, ty) ->
       let ty' = Ty.subst tyin ty in
-      if Ty.equal ty ty' then tm else Const (n, ty')
+      if ty' == ty then tm else mk_const_raw n ty'
   | Comb (f, x) ->
       let f' = inst_go env tyin f in
       let x' = inst_go env tyin x in
-      if f' == f && x' == x then tm else Comb (f', x')
+      if f' == f && x' == x then tm else mk_comb f' x'
   | Abs (v, body) -> (
       let v' = inst_go [] tyin v in
       let env' = (v', v) :: env in
       try
         let body' = inst_go env' tyin body in
-        if v' == v && body' == body then tm else Abs (v', body')
-      with Clash w' when w' = v' ->
+        if v' == v && body' == body then tm else mk_abs v' body'
+      with Clash w' when w' == v' ->
         (* Rename the binder to avoid the collision and retry. *)
         let ifrees = List.map (inst_go [] tyin) (frees body) in
         let v'' = variant ifrees v' in
         let n'', _ = dest_var v'' in
-        let z = Var (n'', snd (dest_var v)) in
+        let z = mk_var n'' v.ty in
         let body' = vsubst [ (v, z) ] body in
-        inst_go env tyin (Abs (z, body')))
+        inst_go env tyin (mk_abs z body'))
 
 let inst tyin tm = if tyin = [] then tm else inst_go [] tyin tm
 
@@ -395,10 +436,10 @@ let inst tyin tm = if tyin = [] then tm else inst_go [] tyin tm
 
 let term_match lconsts pat tm =
   let rec go env pat tm ((insts, tyin) as acc) =
-    match (pat, tm) with
-    | Var (_, vty), _ when not (List.mem_assoc pat env) ->
-        if List.exists (fun c -> c = pat) lconsts then
-          if tm = pat then acc
+    match (pat.node, tm.node) with
+    | Var (_, vty), _ when not (List.exists (fun (p, _) -> p == pat) env) ->
+        if List.exists (fun c -> c == pat) lconsts then
+          if tm == pat then acc
           else failwith "Term.term_match: local constant mismatch"
         else begin
           (* The matched term may not mention term-side bound variables:
@@ -408,31 +449,45 @@ let term_match lconsts pat tm =
               if free_in bv tm then
                 failwith "Term.term_match: bound variable would escape")
             env;
-          match List.assoc_opt pat insts with
-          | Some prev ->
+          match List.find_opt (fun (p, _) -> p == pat) insts with
+          | Some (_, prev) ->
               if aconv prev tm then acc
               else failwith "Term.term_match: inconsistent instantiation"
           | None ->
-              let tyin' = Ty.match_ vty (type_of tm) tyin in
+              let tyin' = Ty.match_ vty tm.ty tyin in
               ((pat, tm) :: insts, tyin')
         end
     | Var _, _ -> (
-        match List.assoc_opt pat env with
-        | Some bv when bv = tm -> acc
+        match List.find_opt (fun (p, _) -> p == pat) env with
+        | Some (_, bv) when bv == tm -> acc
         | _ -> failwith "Term.term_match: bound variable mismatch")
     | Const (n1, ty1), Const (n2, ty2) when n1 = n2 ->
         (insts, Ty.match_ ty1 ty2 tyin)
     | Comb (f1, x1), Comb (f2, x2) -> go env x1 x2 (go env f1 f2 acc)
-    | Abs ((Var (_, ty1) as v1), b1), Abs ((Var (_, ty2) as v2), b2) ->
-        let tyin' = Ty.match_ ty1 ty2 tyin in
+    | Abs (v1, b1), Abs (v2, b2) ->
+        let tyin' = Ty.match_ v1.ty v2.ty tyin in
         go ((v1, v2) :: env) b1 b2 (insts, tyin')
     | _ -> failwith "Term.term_match: structural mismatch"
   in
   let insts, tyin = go [] pat tm ([], []) in
-  let theta =
-    List.map (fun (v, t) -> (inst tyin v, t)) insts
-  in
+  let theta = List.map (fun (v, t) -> (inst tyin v, t)) insts in
   (theta, tyin)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stats () =
+  let live = W.count itab in
+  if live > !peak then peak := live;
+  {
+    mk_calls = !mk_calls;
+    intern_hits = !intern_hits;
+    intern_misses = !intern_misses;
+    live_nodes = live;
+    peak_nodes = !peak;
+    var_count = !n_vars;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
@@ -444,21 +499,20 @@ let rec pp ppf tm =
   decr pp_budget;
   if !pp_budget < 0 then Format.pp_print_string ppf "..."
   else
-  match tm with
-  | Var (n, _) -> Format.pp_print_string ppf n
-  | Const (n, _) -> Format.pp_print_string ppf n
-  | Comb (Comb (Const ("=", _), l), r) ->
-      Format.fprintf ppf "(%a = %a)" pp l pp r
-  | Comb (Comb (Const ("/\\", _), l), r) ->
-      Format.fprintf ppf "(%a /\\ %a)" pp l pp r
-  | Comb (Comb (Const ("==>", _), l), r) ->
-      Format.fprintf ppf "(%a ==> %a)" pp l pp r
-  | Comb (Const ("!", _), Abs (v, b)) ->
-      Format.fprintf ppf "(!%a. %a)" pp v pp b
-  | Comb (Comb (Const (",", _), l), r) ->
-      Format.fprintf ppf "(%a, %a)" pp l pp r
-  | Comb (f, x) -> Format.fprintf ppf "(%a %a)" pp f pp x
-  | Abs (v, b) -> Format.fprintf ppf "(\\%a. %a)" pp v pp b
+    match tm.node with
+    | Var (n, _) | Const (n, _) -> Format.pp_print_string ppf n
+    | Comb ({ node = Comb ({ node = Const ("=", _); _ }, l); _ }, r) ->
+        Format.fprintf ppf "(%a = %a)" pp l pp r
+    | Comb ({ node = Comb ({ node = Const ("/\\", _); _ }, l); _ }, r) ->
+        Format.fprintf ppf "(%a /\\ %a)" pp l pp r
+    | Comb ({ node = Comb ({ node = Const ("==>", _); _ }, l); _ }, r) ->
+        Format.fprintf ppf "(%a ==> %a)" pp l pp r
+    | Comb ({ node = Const ("!", _); _ }, { node = Abs (v, b); _ }) ->
+        Format.fprintf ppf "(!%a. %a)" pp v pp b
+    | Comb ({ node = Comb ({ node = Const (",", _); _ }, l); _ }, r) ->
+        Format.fprintf ppf "(%a, %a)" pp l pp r
+    | Comb (f, x) -> Format.fprintf ppf "(%a %a)" pp f pp x
+    | Abs (v, b) -> Format.fprintf ppf "(\\%a. %a)" pp v pp b
 
 let to_string tm = Format.asprintf "%a" pp tm
 

@@ -4,14 +4,24 @@
     invariantly produces well-typed terms; the smart constructors here
     check types and raise [Failure] on ill-typed combinations.
 
-    Performance note: the HASH synthesis procedure manipulates terms whose
-    tree representation can be exponentially larger than their dag
-    representation (fully inlined circuit let-chains).  All potentially
-    super-linear operations ([vsubst], [inst], [aconv], free-variable
-    computation) are therefore memoised on physical node identity, so their
-    cost is linear in the number of {e distinct} subterm nodes. *)
+    Performance note: terms are {e hash-consed} — every node is interned
+    in a weak hash-set, so structurally equal terms are physically equal.
+    [type_of] is a per-node cached field, the free-variable set of every
+    node is a precomputed exact bitset ([fv]), and [aconv]/[vsubst]/
+    [alphaorder] exploit physical equality and id-keyed memo tables, so
+    their cost is linear in the number of {e distinct} subterm nodes even
+    when the tree representation is exponentially larger than the dag
+    (fully inlined circuit let-chains). *)
 
-type t = private
+type t = private {
+  id : int;  (** unique interning id; never reused *)
+  hash : int;
+  ty : Ty.t;  (** cached [type_of] *)
+  fv : Bits.t;  (** exact free-variable set, by compact var index *)
+  node : node;
+}
+
+and node =
   | Var of string * Ty.t
   | Const of string * Ty.t
   | Comb of t * t
@@ -20,6 +30,7 @@ type t = private
 (** {1 Constructors} *)
 
 val mk_var : string -> Ty.t -> t
+
 val mk_const_raw : string -> Ty.t -> t
 (** Build a constant with exactly the given type.  The kernel checks
     constants against the signature; this raw constructor is used by the
@@ -51,7 +62,6 @@ val is_const : t -> bool
 val is_comb : t -> bool
 val is_abs : t -> bool
 val is_eq : t -> bool
-
 val rator : t -> t
 val rand : t -> t
 
@@ -59,15 +69,18 @@ val strip_comb : t -> t * t list
 (** [strip_comb (f a b c)] is [(f, [a; b; c])]. *)
 
 val type_of : t -> Ty.t
+(** O(1): reads the cached [ty] field. *)
 
 (** {1 Free variables} *)
 
 val frees : t -> t list
-(** The free variables of a term (memoised; order unspecified, no
-    duplicates). *)
+(** The free variables of a term (order unspecified, no duplicates).
+    O(size of the set): read off the per-node bitset. *)
 
 val free_in : t -> t -> bool
-(** [free_in v tm]: does variable [v] occur free in [tm]? *)
+(** [free_in v tm]: does variable [v] occur free in [tm]?  O(1): a bit
+    test on the node's precomputed set.  @raise Failure if [v] is not a
+    variable. *)
 
 val variant : t list -> t -> t
 (** [variant avoid v] is a variable like [v] whose name clashes with none
@@ -79,7 +92,7 @@ val vsubst : (t * t) list -> t -> t
 (** [vsubst [(v1,t1); ...] tm] simultaneously substitutes [ti] for free
     occurrences of variable [vi], renaming bound variables only where
     capture would occur.  Bindings must be type-correct.
-    Memoised per call on physical identity. *)
+    Memoised per call on node ids. *)
 
 val inst : (string * Ty.t) list -> t -> t
 (** Instantiate type variables throughout a term, renaming term variables
@@ -91,12 +104,11 @@ val alphaorder : t -> t -> int
 (** Total order on terms up to alpha-equivalence. *)
 
 val aconv : t -> t -> bool
-(** Alpha-equivalence, with a fast path for physically-equal subterms. *)
+(** Alpha-equivalence; physically-equal terms are equal in O(1). *)
 
 (** {1 First-order matching} *)
 
-val term_match :
-  t list -> t -> t -> (t * t) list * (string * Ty.t) list
+val term_match : t list -> t -> t -> (t * t) list * (string * Ty.t) list
 (** [term_match consts pat tm] finds [(theta, tytheta)] such that
     [vsubst theta (inst tytheta pat)] is alpha-equivalent to [tm].  Free
     variables of [pat] listed in [consts] are treated as fixed (they must
@@ -104,10 +116,18 @@ val term_match :
     not be applied to bound variables.
     @raise Failure if no match exists. *)
 
+(** {1 Statistics} *)
+
+type stats = {
+  mk_calls : int;  (** smart-constructor calls *)
+  intern_hits : int;  (** constructor calls answered by the intern table *)
+  intern_misses : int;  (** distinct nodes ever created *)
+  live_nodes : int;  (** nodes currently alive in the weak table *)
+  peak_nodes : int;  (** highest sampled live population *)
+  var_count : int;  (** distinct (name, type) variables seen *)
+}
+
+val stats : unit -> stats
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
-
-(** Hash table keyed on physical node identity — used by conversion layers
-    to memoise work on dag-shared terms. *)
-module Phys_tbl : Hashtbl.S with type key = t
-

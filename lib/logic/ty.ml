@@ -1,59 +1,128 @@
-type t =
-  | Tyvar of string
-  | Tyapp of string * t list
+(* Hash-consed types.  Every [t] in the program is interned in the
+   open-addressed table below, so structural equality coincides with
+   physical equality and [compare] is a single int comparison on ids.
+   The table is strong: the set of distinct types in a run is small
+   (bounded by the circuit's tuple shapes), so nothing is ever evicted. *)
 
-let bool = Tyapp ("bool", [])
-let num = Tyapp ("num", [])
-let alpha = Tyvar "a"
-let beta = Tyvar "b"
-let gamma = Tyvar "c"
-let delta = Tyvar "d"
-let fn a b = Tyapp ("fun", [ a; b ])
-let prod a b = Tyapp ("prod", [ a; b ])
-let list a = Tyapp ("list", [ a ])
+type t = { id : int; hash : int; node : node }
+and node = Tyvar of string | Tyapp of string * t list
+
+(* Same mixer as the BDD unique table: cheap, good avalanche on ids. *)
+let mix h k =
+  let h = h + (k * 0x2545f4914f6cdd1) in
+  let h = (h lxor (h lsr 29)) * 0x85ebca6b in
+  (h lxor (h lsr 16)) land max_int
+
+let hash_node = function
+  | Tyvar v -> mix 1 (Hashtbl.hash v)
+  | Tyapp (op, args) ->
+      List.fold_left (fun h a -> mix h a.id) (mix 2 (Hashtbl.hash op)) args
+
+let node_equal n1 n2 =
+  match (n1, n2) with
+  | Tyvar a, Tyvar b -> String.equal a b
+  | Tyapp (o1, a1), Tyapp (o2, a2) ->
+      String.equal o1 o2 && List.length a1 = List.length a2
+      && List.for_all2 (fun x y -> x == y) a1 a2
+  | _ -> false
+
+(* Open-addressed intern table with linear probing; grown at ~70% load. *)
+let tab = ref (Array.make 1024 (None : t option))
+let tab_mask = ref 1023
+let count = ref 0
+let next_id = ref 0
+
+let rec insert_raw arr mask ty =
+  let rec go i =
+    match arr.(i) with
+    | None -> arr.(i) <- Some ty
+    | Some _ -> go ((i + 1) land mask)
+  in
+  go (ty.hash land mask)
+
+and grow () =
+  let old = !tab in
+  let size = 2 * Array.length old in
+  let arr = Array.make size None in
+  let mask = size - 1 in
+  Array.iter (function None -> () | Some ty -> insert_raw arr mask ty) old;
+  tab := arr;
+  tab_mask := mask
+
+let intern node =
+  let h = hash_node node in
+  let rec probe i =
+    match !tab.(i) with
+    | None ->
+        let ty = { id = !next_id; hash = h; node } in
+        incr next_id;
+        !tab.(i) <- Some ty;
+        incr count;
+        if !count * 10 > Array.length !tab * 7 then grow ();
+        ty
+    | Some ty ->
+        if ty.hash = h && node_equal ty.node node then ty
+        else probe ((i + 1) land !tab_mask)
+  in
+  probe (h land !tab_mask)
+
+let var v = intern (Tyvar v)
+let app op args = intern (Tyapp (op, args))
+let node_count () = !next_id
+let bool = app "bool" []
+let num = app "num" []
+let alpha = var "a"
+let beta = var "b"
+let gamma = var "c"
+let delta = var "d"
+let fn a b = app "fun" [ a; b ]
+let prod a b = app "prod" [ a; b ]
+let list a = app "list" [ a ]
 let bv = list bool
 
-let dest_fn = function
+let dest_fn ty =
+  match ty.node with
   | Tyapp ("fun", [ a; b ]) -> (a, b)
   | _ -> failwith "Ty.dest_fn: not a function type"
 
-let dest_prod = function
+let dest_prod ty =
+  match ty.node with
   | Tyapp ("prod", [ a; b ]) -> (a, b)
   | _ -> failwith "Ty.dest_prod: not a product type"
 
-let is_fn = function Tyapp ("fun", [ _; _ ]) -> true | _ -> false
+let is_fn ty = match ty.node with Tyapp ("fun", [ _; _ ]) -> true | _ -> false
 
-let rec tyvars_acc acc = function
+let rec tyvars_acc acc ty =
+  match ty.node with
   | Tyvar v -> if List.mem v acc then acc else v :: acc
   | Tyapp (_, args) -> List.fold_left tyvars_acc acc args
 
 let tyvars ty = List.rev (tyvars_acc [] ty)
 
 let rec subst theta ty =
-  match ty with
+  match ty.node with
   | Tyvar v -> ( match List.assoc_opt v theta with Some t -> t | None -> ty)
   | Tyapp (op, args) ->
       let args' = List.map (subst theta) args in
-      if List.for_all2 (fun a b -> a == b) args args' then ty
-      else Tyapp (op, args')
+      if List.for_all2 (fun a b -> a == b) args args' then ty else app op args'
 
 let rec match_ pat concrete acc =
-  match (pat, concrete) with
+  match (pat.node, concrete.node) with
   | Tyvar v, _ -> (
       match List.assoc_opt v acc with
       | Some t ->
-          if t = concrete then acc else failwith "Ty.match_: clashing binding"
+          if t == concrete then acc else failwith "Ty.match_: clashing binding"
       | None -> (v, concrete) :: acc)
   | Tyapp (op1, args1), Tyapp (op2, args2)
     when op1 = op2 && List.length args1 = List.length args2 ->
       List.fold_left2 (fun acc p c -> match_ p c acc) acc args1 args2
   | _ -> failwith "Ty.match_: structural mismatch"
 
-let compare = Stdlib.compare
-let equal a b = compare a b = 0
+let compare a b = Int.compare a.id b.id
+let equal a b = a == b
 
 let rec pp ppf ty =
-  match ty with
+  match ty.node with
   | Tyvar v -> Format.fprintf ppf ":%s" v
   | Tyapp ("bool", []) -> Format.pp_print_string ppf "bool"
   | Tyapp ("num", []) -> Format.pp_print_string ppf "num"

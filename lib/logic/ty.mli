@@ -3,12 +3,28 @@
     A type is either a type variable or the application of a declared type
     operator to argument types.  The kernel (module {!Kernel}) maintains the
     signature of declared type operators; this module only provides the raw
-    syntax and the operations on it. *)
+    syntax and the operations on it.
 
-type t =
+    Types are {e hash-consed}: every [t] is interned in an open-addressed
+    table, so structurally equal types are physically equal, [equal] is
+    [(==)], and [compare] orders by interning id.  The [node] field is
+    readable and matchable; construction goes through the smart
+    constructors below. *)
+
+type t = private { id : int; hash : int; node : node }
+
+and node =
   | Tyvar of string  (** a type variable, e.g. [:a] *)
   | Tyapp of string * t list
       (** a type operator applied to arguments, e.g. [:(bool)list] *)
+
+(** {1 Constructors} *)
+
+val var : string -> t
+(** [var v] is the type variable [:v]. *)
+
+val app : string -> t list -> t
+(** [app op args] is the interned application of [op] to [args]. *)
 
 (** {1 Built-in type operators}
 
@@ -63,7 +79,8 @@ val tyvars : t -> string list
 
 val subst : (string * t) list -> t -> t
 (** [subst theta ty] replaces every type variable [v] bound in [theta] by
-    its image.  Unbound variables are unchanged. *)
+    its image.  Unbound variables are unchanged.  Returns [ty] itself
+    (physically) when nothing changes. *)
 
 val match_ : t -> t -> (string * t) list -> (string * t) list
 (** [match_ pattern concrete acc] extends the type-variable instantiation
@@ -71,8 +88,13 @@ val match_ : t -> t -> (string * t) list -> (string * t) list
     @raise Failure if no such instantiation exists. *)
 
 val compare : t -> t -> int
+(** Total order by interning id (consistent with [equal]). *)
 
 val equal : t -> t -> bool
+(** Physical equality — sound and complete thanks to interning. *)
+
+val node_count : unit -> int
+(** Number of distinct type nodes interned since startup. *)
 
 val pp : Format.formatter -> t -> unit
 (** Pretty-print a type, e.g. [:(bool # num) -> bool]. *)

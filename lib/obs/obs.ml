@@ -75,11 +75,56 @@ let hit_rate s =
   let total = hits + s.cache_misses + s.memo_misses in
   if total = 0 then 0.0 else float_of_int hits /. float_of_int total
 
+(* Counters of the logic kernel (term interning, rule applications,
+   conversion memos).  Populated by the engines layer, which is the lowest
+   layer that can see both Logic and Obs; this module only defines the
+   shape so every engine row carries one. *)
+type kernel_snapshot = {
+  rule_apps : int;
+  term_mk_calls : int;
+  term_intern_hits : int;
+  term_intern_misses : int;
+  conv_memo_hits : int;
+  conv_memo_misses : int;
+  live_term_nodes : int;
+  peak_term_nodes : int;
+  ty_nodes : int;
+}
+
+let empty_kernel =
+  {
+    rule_apps = 0;
+    term_mk_calls = 0;
+    term_intern_hits = 0;
+    term_intern_misses = 0;
+    conv_memo_hits = 0;
+    conv_memo_misses = 0;
+    live_term_nodes = 0;
+    peak_term_nodes = 0;
+    ty_nodes = 0;
+  }
+
+(* Counters are monotone; live/peak/ty populations are reported as-is
+   (they describe the process state at the end of the run, not a rate). *)
+let kernel_delta ~before ~after =
+  {
+    rule_apps = after.rule_apps - before.rule_apps;
+    term_mk_calls = after.term_mk_calls - before.term_mk_calls;
+    term_intern_hits = after.term_intern_hits - before.term_intern_hits;
+    term_intern_misses = after.term_intern_misses - before.term_intern_misses;
+    conv_memo_hits = after.conv_memo_hits - before.conv_memo_hits;
+    conv_memo_misses = after.conv_memo_misses - before.conv_memo_misses;
+    live_term_nodes = after.live_term_nodes;
+    peak_term_nodes = after.peak_term_nodes;
+    ty_nodes = after.ty_nodes;
+  }
+
 type engine_run = {
   engine : string;
   wall_s : float;
   status : string;
   snap : snapshot;
+  kern : kernel_snapshot;
   extra : (string * float) list;
 }
 
@@ -169,6 +214,20 @@ let snapshot_json s =
       ("cache_hit_rate", Json.Float (hit_rate s));
     ]
 
+let kernel_snapshot_json k =
+  Json.Obj
+    [
+      ("rule_apps", Json.Int k.rule_apps);
+      ("term_mk_calls", Json.Int k.term_mk_calls);
+      ("term_intern_hits", Json.Int k.term_intern_hits);
+      ("term_intern_misses", Json.Int k.term_intern_misses);
+      ("conv_memo_hits", Json.Int k.conv_memo_hits);
+      ("conv_memo_misses", Json.Int k.conv_memo_misses);
+      ("live_term_nodes", Json.Int k.live_term_nodes);
+      ("peak_term_nodes", Json.Int k.peak_term_nodes);
+      ("ty_nodes", Json.Int k.ty_nodes);
+    ]
+
 let engine_run_json r =
   Json.Obj
     ([
@@ -176,5 +235,6 @@ let engine_run_json r =
        ("wall_s", Json.Float r.wall_s);
        ("status", Json.Str r.status);
        ("bdd", snapshot_json r.snap);
+       ("kernel", kernel_snapshot_json r.kern);
      ]
     @ List.map (fun (k, v) -> (k, Json.Float v)) r.extra)

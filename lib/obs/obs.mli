@@ -39,11 +39,37 @@ val hit_rate : snapshot -> float
 (** Combined computed-table and memo hit rate in [0, 1]; [0.] when no
     lookups were performed. *)
 
+(** Counters of the logic kernel: primitive-rule applications, term
+    interning traffic, conversion-memo traffic and node populations.  The
+    engines layer populates these from [Logic]'s statistics (this module
+    cannot depend on [Logic]); HASH bench rows carry them so the formal
+    engine's work is observable alongside the BDD engines'. *)
+type kernel_snapshot = {
+  rule_apps : int;  (** primitive kernel rule applications *)
+  term_mk_calls : int;  (** term smart-constructor calls *)
+  term_intern_hits : int;  (** constructor calls answered by interning *)
+  term_intern_misses : int;  (** distinct term nodes created *)
+  conv_memo_hits : int;  (** conversion memo-table hits *)
+  conv_memo_misses : int;  (** conversion memo-table misses *)
+  live_term_nodes : int;  (** term nodes alive at snapshot time *)
+  peak_term_nodes : int;  (** highest sampled live term population *)
+  ty_nodes : int;  (** distinct interned types *)
+}
+
+val empty_kernel : kernel_snapshot
+
+val kernel_delta :
+  before:kernel_snapshot -> after:kernel_snapshot -> kernel_snapshot
+(** Difference of the monotone counters; the population fields
+    ([live_term_nodes], [peak_term_nodes], [ty_nodes]) are taken from
+    [after] as-is. *)
+
 type engine_run = {
   engine : string;
   wall_s : float;
   status : string;
   snap : snapshot;
+  kern : kernel_snapshot;  (** logic-kernel counters (HASH engine work) *)
   extra : (string * float) list;  (** engine-specific scalars *)
 }
 
@@ -64,4 +90,5 @@ module Json : sig
 end
 
 val snapshot_json : snapshot -> Json.t
+val kernel_snapshot_json : kernel_snapshot -> Json.t
 val engine_run_json : engine_run -> Json.t

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "hash_retiming"
     [
       ("logic", Test_logic.suite);
+      ("term_props", Test_term_props.suite);
       ("automata", Test_automata.suite);
       ("netlist", Test_netlist.suite);
       ("bdd", Test_bdd.suite);
