@@ -1,11 +1,13 @@
-(* Compare two BENCH_micro.json files and fail when a kernel row regresses.
+(* Compare two BENCH_micro.json files and fail when a gated row regresses.
 
      dune exec bench/compare.exe -- OLD.json NEW.json [--threshold PCT]
-                                                      [--prefix P]
+                                                      [--prefix P]...
 
    Exit codes: 0 = no regression, 1 = at least one row regressed by more
    than the threshold (default 20%), 2 = usage or parse error.  Rows are
-   matched by name under the given prefix (default "kernel/"); rows
+   matched by name under the given prefixes; --prefix is repeatable, and
+   when absent the gate covers "kernel/", "bdd/" and "hash/".  The
+   per-row delta table is always printed, gate pass or fail.  Rows
    missing on either side are reported but do not fail the gate (new
    benchmarks appear, old ones get renamed).  Used as an optional gate in
    the verify flow; it has no library dependencies, so the JSON below is
@@ -219,7 +221,7 @@ let rows_of_file path =
 
 let () =
   let threshold = ref 20.0 in
-  let prefix = ref "kernel/" in
+  let prefixes = ref [] in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -231,13 +233,18 @@ let () =
             exit 2);
         parse_args rest
     | "--prefix" :: v :: rest ->
-        prefix := v;
+        prefixes := v :: !prefixes;
         parse_args rest
     | f :: rest ->
         files := f :: !files;
         parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
+  let prefixes =
+    match List.rev !prefixes with
+    | [] -> [ "kernel/"; "bdd/"; "hash/" ]
+    | ps -> ps
+  in
   match List.rev !files with
   | [ old_path; new_path ] ->
       let old_rows = rows_of_file old_path in
@@ -246,9 +253,11 @@ let () =
         String.length s >= String.length p
         && String.sub s 0 (String.length p) = p
       in
-      let gated = List.filter (fun (n, _) -> starts_with !prefix n) old_rows in
+      let gated_name n = List.exists (fun p -> starts_with p n) prefixes in
+      let gated = List.filter (fun (n, _) -> gated_name n) old_rows in
       if gated = [] then
-        Printf.printf "compare: no rows under prefix %S in %s\n" !prefix
+        Printf.printf "compare: no rows under prefixes %s in %s\n"
+          (String.concat ", " prefixes)
           old_path;
       Printf.printf "%-30s %14s %14s %9s\n" "benchmark" "old ns/run"
         "new ns/run" "delta";
@@ -270,9 +279,8 @@ let () =
         gated;
       List.iter
         (fun (name, _) ->
-          if
-            starts_with !prefix name && not (List.mem_assoc name old_rows)
-          then Printf.printf "%-30s %14s (new row)\n" name "-")
+          if gated_name name && not (List.mem_assoc name old_rows) then
+            Printf.printf "%-30s %14s (new row)\n" name "-")
         new_rows;
       if !regressed <> [] then begin
         Printf.printf "\nREGRESSION: %d row(s) over the %.0f%% threshold:\n"
@@ -282,8 +290,11 @@ let () =
           (List.rev !regressed);
         exit 1
       end
-      else Printf.printf "\nno kernel regressions over %.0f%%\n" !threshold
+      else
+        Printf.printf "\nno regressions over %.0f%% (prefixes: %s)\n"
+          !threshold
+          (String.concat ", " prefixes)
   | _ ->
       Printf.eprintf
-        "usage: compare OLD.json NEW.json [--threshold PCT] [--prefix P]\n";
+        "usage: compare OLD.json NEW.json [--threshold PCT] [--prefix P]...\n";
       exit 2

@@ -14,14 +14,28 @@
    current directory (schema documented in README.md) so that successive
    PRs can track the performance trajectory.
 
-   Environment: BENCH_DEADLINE (seconds per engine run, default 5),
-   BENCH_MAX_N (largest Figure-2 bitwidth, default 64; capped at 63 — the
-   word simulator packs words into native 63-bit ints). *)
+   Environment: BENCH_DEADLINE (seconds per engine run, default 5);
+   BENCH_MAX_N (largest Figure-2 bitwidth, default 63; values are clamped
+   to [1, 63] — the word simulator packs words into native 63-bit ints);
+   BENCH_JOBS (worker domains for the table sweeps, default
+   [Domain.recommended_domain_count ()]; 1 = run every cell inline in
+   submission order, i.e. the exact sequential behaviour). *)
 
 let deadline =
   try float_of_string (Sys.getenv "BENCH_DEADLINE") with Not_found -> 5.0
 
-let max_n = try int_of_string (Sys.getenv "BENCH_MAX_N") with Not_found -> 64
+(* Clamped to the word simulator's packing limit; the JSON header reports
+   the clamped value, so downstream tooling never sees an unusable n. *)
+let max_n =
+  let raw = try int_of_string (Sys.getenv "BENCH_MAX_N") with Not_found -> 63 in
+  min 63 (max 1 raw)
+
+let jobs =
+  let raw =
+    try int_of_string (Sys.getenv "BENCH_JOBS")
+    with Not_found -> Domain.recommended_domain_count ()
+  in
+  max 1 raw
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -74,15 +88,27 @@ let write_table_json path table rows_json =
          ("table", Obs.Json.Str table);
          ("deadline_s", Obs.Json.Float deadline);
          ("max_n", Obs.Json.Int max_n);
+         ("jobs", Obs.Json.Int jobs);
          ("rows", Obs.Json.List rows_json);
        ]);
   Printf.printf "wrote %s\n" path
+
+(* Fan-out helpers.  Every (row, engine) cell is submitted to the pool up
+   front — budgets are created *inside* each task, so a cell's deadline
+   starts when it runs, not while it waits in the queue — and the rows are
+   then awaited and printed in their deterministic submission order.  With
+   BENCH_JOBS=1 the pool runs each task inline at submission, which is
+   exactly the old sequential loop. *)
+let cell pool f = Parallel.Pool.submit pool f
+
+let engine_task pool report_fn a b =
+  cell pool (fun () -> report_fn (Engines.Common.budget_of_seconds deadline) a b)
 
 (* ------------------------------------------------------------------ *)
 (* Table I                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table1 () =
+let table1 pool =
   Printf.printf
     "\nTable I: scalable example of Figure 2 (times in seconds; '-' = not \
      within %.0fs)\n"
@@ -90,28 +116,29 @@ let table1 () =
   Printf.printf "%4s %9s %6s %9s %9s %9s\n" "n" "flipflops" "gates" "SIS"
     "SMV" "HASH";
   let ns =
-    List.filter
-      (fun n -> n <= max_n && n <= 63)
-      [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 63 ]
+    List.filter (fun n -> n <= max_n) [ 1; 2; 3; 4; 6; 8; 12; 16; 24; 32; 48; 63 ]
   in
-  let rows =
+  let submitted =
     List.map
       (fun n ->
         let rt = Fig2.rt n in
         let g = Fig2.gate n in
         let gcut = Cut.maximal g in
         let retimed_g = Forward.retime g gcut in
-        let sis =
-          Engines.Sis_fsm.equiv_report
-            (Engines.Common.budget_of_seconds deadline)
-            g retimed_g
+        let sis = engine_task pool Engines.Sis_fsm.equiv_report g retimed_g in
+        let smv = engine_task pool Engines.Smv.equiv_report g retimed_g in
+        let hash =
+          cell pool (fun () -> hash_run Hash.Embed.Rt_level rt (Cut.maximal rt))
         in
-        let smv =
-          Engines.Smv.equiv_report
-            (Engines.Common.budget_of_seconds deadline)
-            g retimed_g
-        in
-        let hash = hash_run Hash.Embed.Rt_level rt (Cut.maximal rt) in
+        (n, g, sis, smv, hash))
+      ns
+  in
+  let rows =
+    List.map
+      (fun (n, g, sis_f, smv_f, hash_f) ->
+        let sis = Parallel.Pool.await sis_f in
+        let smv = Parallel.Pool.await smv_f in
+        let hash = Parallel.Pool.await hash_f in
         Printf.printf "%4d %9d %6d %s %s %s\n" n (Circuit.flipflop_count g)
           (Circuit.gate_count g) (engine_cell sis) (engine_cell smv)
           (hash_cell hash);
@@ -129,7 +156,7 @@ let table1 () =
                   Obs.engine_run_json hash;
                 ] );
           ])
-      ns
+      submitted
   in
   write_table_json "BENCH_table1.json" "table1" rows
 
@@ -137,35 +164,39 @@ let table1 () =
 (* Table II                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let table2 () =
+let table2 pool =
   Printf.printf
     "\nTable II: IWLS'91-like benchmark suite (times in seconds; '-' = not \
      within %.0fs)\n"
     deadline;
   Printf.printf "%-8s %9s %6s %9s %9s %9s %9s\n" "name" "flipflops" "gates"
     "Eijk" "Eijk*" "SIS" "HASH";
-  let rows =
+  let submitted =
     List.map
       (fun (e : Iwls.entry) ->
+        (* force in the submitting domain: the suite's circuits are lazy
+           and must not be forced concurrently from several workers *)
         let c = Lazy.force e.Iwls.circuit in
         let cut = Cut.maximal c in
         let retimed = Forward.retime c cut in
-        let eijk =
-          Engines.Eijk.equiv_report
-            (Engines.Common.budget_of_seconds deadline)
-            c retimed
-        in
+        let eijk = engine_task pool Engines.Eijk.equiv_report c retimed in
         let eijks =
-          Engines.Eijk.equiv_report ~exploit_dependencies:true
-            (Engines.Common.budget_of_seconds deadline)
+          engine_task pool
+            (Engines.Eijk.equiv_report ~exploit_dependencies:true)
             c retimed
         in
-        let sis =
-          Engines.Sis_fsm.equiv_report
-            (Engines.Common.budget_of_seconds deadline)
-            c retimed
-        in
-        let hash = hash_run Hash.Embed.Bit_level c cut in
+        let sis = engine_task pool Engines.Sis_fsm.equiv_report c retimed in
+        let hash = cell pool (fun () -> hash_run Hash.Embed.Bit_level c cut) in
+        (e, c, eijk, eijks, sis, hash))
+      Iwls.suite
+  in
+  let rows =
+    List.map
+      (fun ((e : Iwls.entry), c, eijk_f, eijks_f, sis_f, hash_f) ->
+        let eijk = Parallel.Pool.await eijk_f in
+        let eijks = Parallel.Pool.await eijks_f in
+        let sis = Parallel.Pool.await sis_f in
+        let hash = Parallel.Pool.await hash_f in
         Printf.printf "%-8s %9d %6d %s %s %s %s\n" e.Iwls.name
           (Circuit.flipflop_count c) (Circuit.gate_count c)
           (engine_cell eijk) (engine_cell eijks) (engine_cell sis)
@@ -185,7 +216,7 @@ let table2 () =
                   Obs.engine_run_json hash;
                 ] );
           ])
-      Iwls.suite
+      submitted
   in
   write_table_json "BENCH_table2.json" "table2" rows
 
@@ -193,49 +224,63 @@ let table2 () =
 (* Ablation: HASH time vs cut size                                     *)
 (* ------------------------------------------------------------------ *)
 
-let cuts () =
+let cuts pool =
   Printf.printf
     "\nAblation: HASH time vs cut size (Figure-2, n = 16, gate level)\n";
   Printf.printf "%10s %10s\n" "f-gates" "HASH(s)";
   let c = Fig2.gate 16 in
+  let submitted =
+    List.map
+      (fun cut ->
+        ( List.length cut.Cut.f_gates,
+          cell pool (fun () ->
+              snd
+                (time (fun () ->
+                     Hash.Synthesis.retime Hash.Embed.Bit_level c cut))) ))
+      (Cut.prefixes c 6)
+  in
   List.iter
-    (fun cut ->
-      let _step, t =
-        time (fun () -> Hash.Synthesis.retime Hash.Embed.Bit_level c cut)
-      in
-      Printf.printf "%10d %10.3f\n" (List.length cut.Cut.f_gates) t;
+    (fun (n_f, fut) ->
+      Printf.printf "%10d %10.3f\n" n_f (Parallel.Pool.await fut);
       flush stdout)
-    (Cut.prefixes c 6)
+    submitted
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: RT level vs bit level                                     *)
 (* ------------------------------------------------------------------ *)
 
-let levels () =
+let levels pool =
   Printf.printf
     "\nAblation: RT-level vs bit-level embedding (Figure-2; per-phase \
      seconds)\n";
   Printf.printf "%4s %6s %10s %10s %10s\n" "n" "level" "steps1-3" "step4"
     "total";
+  let run level c () =
+    let step, t =
+      time (fun () -> Hash.Synthesis.retime level c (Cut.maximal c))
+    in
+    let tg = step.Hash.Synthesis.timings in
+    let s13 =
+      tg.Hash.Synthesis.t_split +. tg.Hash.Synthesis.t_apply
+      +. tg.Hash.Synthesis.t_join
+    in
+    (s13, tg.Hash.Synthesis.t_init, t)
+  in
+  let submitted =
+    List.concat_map
+      (fun n ->
+        [
+          (n, "RT", cell pool (run Hash.Embed.Rt_level (Fig2.rt n)));
+          (n, "bit", cell pool (run Hash.Embed.Bit_level (Fig2.gate n)));
+        ])
+      [ 4; 8; 16; 32 ]
+  in
   List.iter
-    (fun n ->
-      let run level c =
-        let step, t =
-          time (fun () -> Hash.Synthesis.retime level c (Cut.maximal c))
-        in
-        let tg = step.Hash.Synthesis.timings in
-        let s13 =
-          tg.Hash.Synthesis.t_split +. tg.Hash.Synthesis.t_apply
-          +. tg.Hash.Synthesis.t_join
-        in
-        (s13, tg.Hash.Synthesis.t_init, t)
-      in
-      let s13, s4, t = run Hash.Embed.Rt_level (Fig2.rt n) in
-      Printf.printf "%4d %6s %10.4f %10.4f %10.4f\n" n "RT" s13 s4 t;
-      let s13, s4, t = run Hash.Embed.Bit_level (Fig2.gate n) in
-      Printf.printf "%4d %6s %10.4f %10.4f %10.4f\n" n "bit" s13 s4 t;
+    (fun (n, lvl, fut) ->
+      let s13, s4, t = Parallel.Pool.await fut in
+      Printf.printf "%4d %6s %10.4f %10.4f %10.4f\n" n lvl s13 s4 t;
       flush stdout)
-    [ 4; 8; 16; 32 ]
+    submitted
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -261,9 +306,38 @@ let bdd_ite_storm () =
   done;
   ignore (Bdd.exists m [ 0; 2; 4; 6; 8; 10 ] !f)
 
-let micro () =
+(* Run one Bechamel group and return its (name, ns/run) estimates.  The
+   micro rows are grouped kernel/* | bdd/* | hash/* so that the compare
+   gate can hold each subsystem to the regression threshold separately. *)
+let run_group tests =
   let open Bechamel in
   let open Toolkit in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  let estimates = ref [] in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              estimates := (name, est) :: !estimates;
+              Printf.printf "  %-28s %12.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        tbl)
+    results;
+  !estimates
+
+let micro () =
+  let open Bechamel in
   let open Logic in
   Printf.printf "\nKernel primitive micro-benchmarks (Bechamel)\n";
   let c = Fig2.rt 8 in
@@ -297,7 +371,12 @@ let micro () =
      so n is kept small enough to be representative, not pathological) *)
   let pg = Fig2.gate 12 in
   let pr = Forward.retime pg (Cut.maximal pg) in
-  let tests =
+  (* HASH end-to-end rows: the full certified retime of a small RT-level
+     circuit, and the embedding step alone at bit level *)
+  let hash_c = Fig2.rt 8 in
+  let hash_cut = Cut.maximal hash_c in
+  let embed_c = Fig2.gate 12 in
+  let kernel_tests =
     Test.make_grouped ~name:"kernel"
       [
         Test.make ~name:"trans-compose"
@@ -330,36 +409,32 @@ let micro () =
         Test.make ~name:"rewrite-memo"
           (Staged.stage (fun () ->
                ignore (Boolean.bool_eval_conv ground_chain)));
-        Test.make ~name:"bdd-ite-storm-20"
-          (Staged.stage bdd_ite_storm);
-        Test.make ~name:"bdd-product-fig2-12"
+      ]
+  in
+  let bdd_tests =
+    Test.make_grouped ~name:"bdd"
+      [
+        Test.make ~name:"ite-storm-20" (Staged.stage bdd_ite_storm);
+        Test.make ~name:"product-fig2-12"
           (Staged.stage (fun () ->
                let m = Bdd.manager () in
                ignore (Engines.Symbolic.product m pg pr)));
       ]
   in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  let hash_tests =
+    Test.make_grouped ~name:"hash"
+      [
+        Test.make ~name:"retime-rt-8"
+          (Staged.stage (fun () ->
+               ignore (Hash.Synthesis.retime Hash.Embed.Rt_level hash_c hash_cut)));
+        Test.make ~name:"embed-bit-12"
+          (Staged.stage (fun () ->
+               ignore (Hash.Embed.embed Hash.Embed.Bit_level embed_c)));
+      ]
   in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  let estimates =
+    List.concat_map run_group [ kernel_tests; bdd_tests; hash_tests ]
   in
-  let raw_results = Benchmark.all cfg instances tests in
-  let results = List.map (fun i -> Analyze.all ols i raw_results) instances in
-  let results = Analyze.merge ols instances results in
-  let estimates = ref [] in
-  Hashtbl.iter
-    (fun _clock tbl ->
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] ->
-              estimates := (name, est) :: !estimates;
-              Printf.printf "  %-28s %12.1f ns/run\n" name est
-          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
-        tbl)
-    results;
   Obs.Json.to_file "BENCH_micro.json"
     (Obs.Json.Obj
        [
@@ -373,7 +448,7 @@ let micro () =
                       ("name", Obs.Json.Str name);
                       ("ns_per_run", Obs.Json.Float est);
                     ])
-                !estimates) );
+                estimates) );
        ]);
   Printf.printf "wrote BENCH_micro.json\n"
 
@@ -381,22 +456,35 @@ let micro () =
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* One pool for the whole invocation: created before any table work so
+     the worker domains are seeded with exactly the module-initialisation
+     terms (see Logic.Domain_state).  micro stays single-domain — Bechamel
+     latencies are only meaningful unloaded. *)
+  let needs_pool =
+    match what with "table1" | "table2" | "cuts" | "levels" | "all" -> true | _ -> false
+  in
+  let pool =
+    if needs_pool then Parallel.Pool.create ~jobs ()
+    else Parallel.Pool.create ~jobs:1 ()
+  in
+  if needs_pool && jobs > 1 then Printf.printf "running with %d worker domains\n" jobs;
   (match what with
-  | "table1" -> table1 ()
-  | "table2" -> table2 ()
-  | "cuts" -> cuts ()
-  | "levels" -> levels ()
+  | "table1" -> table1 pool
+  | "table2" -> table2 pool
+  | "cuts" -> cuts pool
+  | "levels" -> levels pool
   | "micro" -> micro ()
   | "all" ->
-      table1 ();
-      table2 ();
-      cuts ();
-      levels ();
+      table1 pool;
+      table2 pool;
+      cuts pool;
+      levels pool;
       micro ()
   | other ->
       Printf.eprintf
         "unknown bench '%s' (expected table1|table2|cuts|levels|micro|all)\n"
         other;
       exit 2);
+  Parallel.Pool.shutdown pool;
   Printf.printf "\nkernel rule applications performed: %d\n"
-    (Logic.Kernel.rule_count ())
+    (Logic.Kernel.total_rule_count ())

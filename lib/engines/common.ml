@@ -63,6 +63,23 @@ let kernel_now () =
     ty_nodes = Logic.Ty.node_count ();
   }
 
+(* Cross-domain totals; exact once worker domains have quiesced (after a
+   pool join). *)
+let kernel_total () =
+  let t = Logic.Term.global_stats () in
+  let memo_hits, memo_misses = Logic.Conv.global_memo_stats () in
+  {
+    Obs.rule_apps = Logic.Kernel.total_rule_count ();
+    term_mk_calls = t.Logic.Term.mk_calls;
+    term_intern_hits = t.Logic.Term.intern_hits;
+    term_intern_misses = t.Logic.Term.intern_misses;
+    conv_memo_hits = memo_hits;
+    conv_memo_misses = memo_misses;
+    live_term_nodes = t.Logic.Term.live_nodes;
+    peak_term_nodes = t.Logic.Term.peak_nodes;
+    ty_nodes = Logic.Ty.global_node_count ();
+  }
+
 let observe ~engine f =
   let k0 = kernel_now () in
   let t0 = Unix.gettimeofday () in

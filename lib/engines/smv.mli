@@ -2,12 +2,15 @@
     (Burch–Clarke–Long–McMillan–Dill, "Symbolic model checking for
     sequential circuit verification").
 
-    Builds the product machine of the two circuits, the monolithic
-    transition relation [R(s, i, s')], and performs a breadth-first
-    symbolic state traversal from the initial state; at every frontier it
-    checks that no reachable state can distinguish the outputs.  This is
-    the paper's "SMV" baseline: exact, complete, and exponential in the
-    number of state variables. *)
+    Builds the product machine of the two circuits and a {e partitioned}
+    transition relation (one conjunct per next-state bit), and performs a
+    breadth-first symbolic state traversal from the initial state; at
+    every frontier it checks that no reachable state can distinguish the
+    outputs.  Image computation uses early quantification: each
+    current-state/input variable is existentially quantified out right
+    after the last conjunct depending on it is conjoined, keeping the
+    intermediate products small.  This is the paper's "SMV" baseline:
+    exact, complete, and exponential in the number of state variables. *)
 
 val equiv : Common.budget -> Circuit.t -> Circuit.t -> Common.result
 (** Both circuits must be pure bit-level with matching interfaces. *)
@@ -20,4 +23,5 @@ val equiv_stats :
 
 val equiv_report : Common.budget -> Circuit.t -> Circuit.t -> Common.report
 (** Like {!equiv}, with wall time and kernel counters; [extra] carries
-    [bfs_iterations] and [peak_reached_size]. *)
+    [bfs_iterations], [peak_reached_size] and [peak_image_size] (largest
+    intermediate BDD during early-quantified image computation). *)

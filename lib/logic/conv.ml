@@ -82,13 +82,16 @@ let rewrite_conv ths = top_depth_conv (rewrs_conv ths)
 
 (* Hook polled once per memo miss inside the normaliser below; the
    synthesis layer installs a budget check here so long normalisation runs
-   can time out without threading a deadline through every conversion. *)
-let poll : (unit -> unit) ref = ref (fun () -> ())
+   can time out without threading a deadline through every conversion.
+   Domain-local: each worker installs and polls its own hook. *)
+let poll_key = Domain.DLS.new_key (fun () -> ref (fun () -> ()))
+let poll () = !(Domain.DLS.get poll_key) ()
 
 let with_poll hook f =
-  let saved = !poll in
-  poll := hook;
-  Fun.protect ~finally:(fun () -> poll := saved) f
+  let cell = Domain.DLS.get poll_key in
+  let saved = !cell in
+  cell := hook;
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
 let memo_top_depth_conv c =
   (* The memo is allocated once per *partial application* and persists
@@ -96,15 +99,21 @@ let memo_top_depth_conv c =
      [|- t = t'] stays valid forever.  Generation bumps (wholesale
      invalidation when the table outgrows its cap) happen only between
      top-level calls — evicting entries mid-recursion could re-expand
-     shared dag spines exponentially. *)
-  let memo : thm Memo.t = Memo.create ~bits:12 () in
+     shared dag spines exponentially.
+
+     One table per domain (keyed per partial application): cached
+     theorems mention terms, and terms must not cross domains, so a
+     worker always starts from an empty table.  All application sites
+     are module-level bindings, so the number of DLS keys is bounded. *)
+  let memo_key = Domain.DLS.new_key (fun () : thm Memo.t -> Memo.create ~bits:12 ()) in
   fun tm0 ->
+    let memo = Domain.DLS.get memo_key in
     Memo.new_call memo;
     let rec norm tm =
       match Memo.find memo tm.Term.id with
       | Some th -> th
       | None ->
-          !poll ();
+          poll ();
           let th = step tm in
           Memo.add memo tm.Term.id th;
           th
@@ -145,4 +154,5 @@ let memo_top_depth_conv c =
     norm tm0
 
 let memo_stats = Memo.stats
+let global_memo_stats = Memo.global_stats
 let conv_rule c th = Kernel.eq_mp (c (Kernel.concl th)) th

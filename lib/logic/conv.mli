@@ -67,8 +67,10 @@ val memo_top_depth_conv : conv -> conv
     ([let my_conv = memo_top_depth_conv c]) to share normalisation work
     between invocations.  The table is generation-stamped: once it
     outgrows its cap, the next top-level call bumps the generation and
-    lazily invalidates all entries (see {!Memo}).  The base conversion
-    must be context-independent (true for all rewrite sets used here). *)
+    lazily invalidates all entries (see {!Memo}).  Each domain gets its
+    own table (cached theorems mention terms, which never cross domains).
+    The base conversion must be context-independent (true for all rewrite
+    sets used here). *)
 
 val with_poll : (unit -> unit) -> (unit -> 'a) -> 'a
 (** [with_poll hook f] runs [f ()] with [hook] installed as the
@@ -77,7 +79,12 @@ val with_poll : (unit -> unit) -> (unit -> 'a) -> 'a
     synthesis layer uses this to enforce time budgets. *)
 
 val memo_stats : unit -> int * int
-(** [(hits, misses)] accumulated across all conversion memo tables. *)
+(** [(hits, misses)] accumulated across all conversion memo tables of the
+    {e current domain}. *)
+
+val global_memo_stats : unit -> int * int
+(** [(hits, misses)] summed across every domain.  Exact only while the
+    other domains are quiescent (e.g. after a pool join). *)
 
 val conv_rule : conv -> thm -> thm
 (** Apply a conversion to the conclusion of a theorem ([|- p] with

@@ -77,9 +77,32 @@ let mk_const_at name ty =
 (* Rule counter                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let rules = ref 0
-let tick () = incr rules
-let rule_count () = !rules
+(* Per-domain, registered for cross-domain totals (see Term/Ty for the
+   same pattern).  Note that the signature tables above and the
+   definition/axiom lists below stay plain shared state: theories extend
+   them during module initialisation only, strictly before any worker
+   domain is spawned, and afterwards they are read-only. *)
+
+type rstate = { mutable rules : int }
+
+let r_registry_mu = Mutex.create ()
+let r_registry : rstate list ref = ref []
+
+let r_key =
+  Domain.DLS.new_key (fun () ->
+      let st = { rules = 0 } in
+      Mutex.protect r_registry_mu (fun () -> r_registry := st :: !r_registry);
+      st)
+
+let tick () =
+  let st = Domain.DLS.get r_key in
+  st.rules <- st.rules + 1
+
+let rule_count () = (Domain.DLS.get r_key).rules
+
+let total_rule_count () =
+  Mutex.protect r_registry_mu (fun () ->
+      List.fold_left (fun acc st -> acc + st.rules) 0 !r_registry)
 
 (* ------------------------------------------------------------------ *)
 (* Primitive rules                                                     *)

@@ -22,9 +22,22 @@ type 'a t = {
   cap : int; (* live entries allowed before a generation bump *)
 }
 
-(* Global hit/miss counters across all memo tables, for Obs snapshots. *)
-let hits = ref 0
-let misses = ref 0
+(* Hit/miss counters across all memo tables, for Obs snapshots.  The
+   counters are per-domain (tables themselves are too — every domain
+   allocates its own via the DLS wrapper in Conv), with a registry for
+   cross-domain totals. *)
+type counters = { mutable hits : int; mutable misses : int }
+
+let c_registry_mu = Mutex.create ()
+let c_registry : counters list ref = ref []
+
+let c_key =
+  Domain.DLS.new_key (fun () ->
+      let c = { hits = 0; misses = 0 } in
+      Mutex.protect c_registry_mu (fun () -> c_registry := c :: !c_registry);
+      c)
+
+let counters () = Domain.DLS.get c_key
 
 let hash_key k =
   let h = k * 0x9e3779b9 in
@@ -52,14 +65,15 @@ let new_call t =
 
 let find t id =
   let mask = t.mask in
+  let c = counters () in
   let rec go i =
     let k = t.keys.(i) in
     if k < 0 then begin
-      incr misses;
+      c.misses <- c.misses + 1;
       None
     end
     else if k = id && t.gens.(i) = t.gen then begin
-      incr hits;
+      c.hits <- c.hits + 1;
       t.vals.(i)
     end
     else go ((i + 1) land mask)
@@ -119,4 +133,12 @@ let add t id v =
   in
   go (hash_key id land t.mask)
 
-let stats () = (!hits, !misses)
+let stats () =
+  let c = counters () in
+  (c.hits, c.misses)
+
+let global_stats () =
+  Mutex.protect c_registry_mu (fun () ->
+      List.fold_left
+        (fun (h, m) c -> (h + c.hits, m + c.misses))
+        (0, 0) !c_registry)

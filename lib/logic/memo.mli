@@ -27,4 +27,9 @@ val find : 'a t -> int -> 'a option
 val add : 'a t -> int -> 'a -> unit
 
 val stats : unit -> int * int
-(** [(hits, misses)] accumulated across every memo table since startup. *)
+(** [(hits, misses)] accumulated across every memo table of the {e
+    current domain} since its start. *)
+
+val global_stats : unit -> int * int
+(** [(hits, misses)] summed across every domain.  Exact only while the
+    other domains are quiescent (e.g. after a pool join). *)

@@ -6,10 +6,22 @@
    rules allocate equation spines per theorem (millions of nodes on the
    big benchmarks) and a strong table would pin them all; uniqueness only
    needs to hold among live nodes, and ids are never reused, so entries of
-   collected nodes simply vanish. *)
+   collected nodes simply vanish.
+
+   All of the mutable machinery (the weak intern table, id counter, the
+   compact variable index, the alpha-order memo and the statistics
+   counters) is domain-local (Domain.DLS), so parallel engine runs never
+   contend on it.  Worker domains are seeded from a frozen snapshot of
+   the spawning domain's live nodes (see [freeze]): the snapshot's nodes
+   are inserted into the worker's fresh table and the id counter resumes
+   above them, so terms built during module initialisation (the retiming
+   theorem, the Boolean clause library, ...) keep their physical-equality
+   property inside every worker.  Terms built in one domain after the
+   freeze must not flow into another domain: ids are only unique within a
+   domain (plus the shared seed). *)
 
 type t = {
-  id : int; (* unique; first field so polymorphic compare is O(1) *)
+  id : int; (* unique within a domain; first field so polymorphic compare is O(1) *)
   hash : int;
   ty : Ty.t; (* cached type_of *)
   fv : Bits.t; (* exact free-variable set, by compact var index *)
@@ -49,29 +61,6 @@ end
 
 module W = Weak.Make (H)
 
-let itab = W.create 65536
-let next_id = ref 0
-let mk_calls = ref 0
-let intern_hits = ref 0
-let intern_misses = ref 0
-let peak = ref 0
-
-let intern ~hash ~ty ~fv node =
-  incr mk_calls;
-  let candidate = { id = !next_id; hash; ty; fv; node } in
-  let r = W.merge itab candidate in
-  if r == candidate then begin
-    incr next_id;
-    incr intern_misses;
-    (* sample the live population now and then to track the peak *)
-    if !intern_misses land 0xFFFF = 0 then begin
-      let live = W.count itab in
-      if live > !peak then peak := live
-    end
-  end
-  else incr intern_hits;
-  r
-
 type stats = {
   mk_calls : int;
   intern_hits : int;
@@ -82,33 +71,147 @@ type stats = {
 }
 
 (* ------------------------------------------------------------------ *)
+(* Domain-local state                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  itab : W.t;
+  mutable next_id : int;
+  mutable mk_calls : int;
+  mutable intern_hits : int;
+  mutable intern_misses : int;
+  mutable peak : int;
+  (* Every distinct (name, type-id) variable gets a compact index at
+     creation; [fv] bitsets live over these indices.  The reverse array
+     pins the Var nodes (there are few distinct variables compared to
+     term nodes). *)
+  var_index_tbl : (string * int, int) Hashtbl.t;
+  mutable var_terms : t option array;
+  mutable n_vars : int;
+  (* Alpha-ordering memo on packed id pairs (see [orda_memo]). *)
+  orda_cache : (int, int) Hashtbl.t;
+  (* ty.id -> the equality constant at that type.  Every primitive rule
+     builds equations; this skips two type interns and a weak-table probe
+     per [mk_eq].  Also pins the constants against weak-table eviction
+     (bounded by the number of distinct types). *)
+  eq_consts : (int, t) Hashtbl.t;
+  (* Strong references to the nodes seeded from the parent snapshot, so
+     the weak table cannot evict the shared constants mid-run. *)
+  pinned : t array;
+}
+
+type frozen = {
+  f_terms : t array;
+  f_next_id : int;
+  f_var_index : (string * int, int) Hashtbl.t;
+  f_var_terms : t option array;
+  f_n_vars : int;
+}
+
+let frozen_mu = Mutex.create ()
+let the_frozen : frozen option ref = ref None
+
+(* All domains' states, for cross-domain aggregate statistics (see the
+   corresponding registry in {!Ty}). *)
+let registry_mu = Mutex.create ()
+let registry : state list ref = ref []
+
+let fresh_state () =
+  {
+    itab = W.create 65536;
+    next_id = 0;
+    mk_calls = 0;
+    intern_hits = 0;
+    intern_misses = 0;
+    peak = 0;
+    var_index_tbl = Hashtbl.create 1024;
+    var_terms = Array.make 1024 None;
+    n_vars = 0;
+    orda_cache = Hashtbl.create 4096;
+    eq_consts = Hashtbl.create 64;
+    pinned = [||];
+  }
+
+let state_of_frozen f =
+  let itab = W.create (max 65536 (2 * Array.length f.f_terms)) in
+  Array.iter (fun t -> W.add itab t) f.f_terms;
+  {
+    itab;
+    next_id = f.f_next_id;
+    mk_calls = 0;
+    intern_hits = 0;
+    intern_misses = 0;
+    peak = 0;
+    var_index_tbl = Hashtbl.copy f.f_var_index;
+    var_terms = Array.copy f.f_var_terms;
+    n_vars = f.f_n_vars;
+    orda_cache = Hashtbl.create 4096;
+    eq_consts = Hashtbl.create 64;
+    pinned = f.f_terms;
+  }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        match Mutex.protect frozen_mu (fun () -> !the_frozen) with
+        | None -> fresh_state ()
+        | Some f -> state_of_frozen f
+      in
+      Mutex.protect registry_mu (fun () -> registry := st :: !registry);
+      st)
+
+let state () = Domain.DLS.get key
+
+let freeze () =
+  let st = state () in
+  let terms = W.fold (fun t acc -> t :: acc) st.itab [] in
+  let f =
+    {
+      f_terms = Array.of_list terms;
+      f_next_id = st.next_id;
+      f_var_index = Hashtbl.copy st.var_index_tbl;
+      f_var_terms = Array.copy st.var_terms;
+      f_n_vars = st.n_vars;
+    }
+  in
+  Mutex.protect frozen_mu (fun () -> the_frozen := Some f)
+
+let intern st ~hash ~ty ~fv node =
+  st.mk_calls <- st.mk_calls + 1;
+  let candidate = { id = st.next_id; hash; ty; fv; node } in
+  let r = W.merge st.itab candidate in
+  if r == candidate then begin
+    st.next_id <- st.next_id + 1;
+    st.intern_misses <- st.intern_misses + 1;
+    (* sample the live population now and then to track the peak *)
+    if st.intern_misses land 0xFFFF = 0 then begin
+      let live = W.count st.itab in
+      if live > st.peak then st.peak <- live
+    end
+  end
+  else st.intern_hits <- st.intern_hits + 1;
+  r
+
+(* ------------------------------------------------------------------ *)
 (* Variable indexing                                                   *)
 (* ------------------------------------------------------------------ *)
 
-(* Every distinct (name, type) variable gets a compact index at creation;
-   [fv] bitsets live over these indices.  The reverse array pins the Var
-   nodes (there are few distinct variables compared to term nodes). *)
-let var_index_tbl : (string * int, int) Hashtbl.t = Hashtbl.create 1024
-
-let var_terms : t option array ref = ref (Array.make 1024 None)
-let n_vars = ref 0
-
-let var_index_of_key n ty_id =
-  match Hashtbl.find_opt var_index_tbl (n, ty_id) with
+let var_index_of_key st n ty_id =
+  match Hashtbl.find_opt st.var_index_tbl (n, ty_id) with
   | Some i -> i
   | None ->
-      let i = !n_vars in
-      incr n_vars;
-      Hashtbl.add var_index_tbl (n, ty_id) i;
-      if i >= Array.length !var_terms then begin
-        let arr = Array.make (2 * Array.length !var_terms) None in
-        Array.blit !var_terms 0 arr 0 (Array.length !var_terms);
-        var_terms := arr
+      let i = st.n_vars in
+      st.n_vars <- st.n_vars + 1;
+      Hashtbl.add st.var_index_tbl (n, ty_id) i;
+      if i >= Array.length st.var_terms then begin
+        let arr = Array.make (2 * Array.length st.var_terms) None in
+        Array.blit st.var_terms 0 arr 0 (Array.length st.var_terms);
+        st.var_terms <- arr
       end;
       i
 
-let var_of_index i =
-  match !var_terms.(i) with
+let var_of_index st i =
+  match st.var_terms.(i) with
   | Some v -> v
   | None -> failwith "Term.var_of_index: unregistered index"
 
@@ -116,50 +219,64 @@ let var_of_index i =
 (* Constructors / destructors                                          *)
 (* ------------------------------------------------------------------ *)
 
-let mk_var n ty =
-  let idx = var_index_of_key n ty.Ty.id in
+let mk_var_st st n ty =
+  let idx = var_index_of_key st n ty.Ty.id in
   let tm =
-    intern
+    intern st
       ~hash:(mix (mix 1 (Hashtbl.hash n)) ty.Ty.id)
       ~ty ~fv:(Bits.singleton idx) (Var (n, ty))
   in
-  (match !var_terms.(idx) with
-  | None -> !var_terms.(idx) <- Some tm
+  (match st.var_terms.(idx) with
+  | None -> st.var_terms.(idx) <- Some tm
   | Some _ -> ());
   tm
 
-let mk_const_raw n ty =
-  intern
+let mk_var n ty = mk_var_st (state ()) n ty
+
+let mk_const_raw_st st n ty =
+  intern st
     ~hash:(mix (mix 2 (Hashtbl.hash n)) ty.Ty.id)
     ~ty ~fv:Bits.empty (Const (n, ty))
 
+let mk_const_raw n ty = mk_const_raw_st (state ()) n ty
 let type_of tm = tm.ty
 
-let mk_comb f x =
+let mk_comb_st st f x =
   match f.ty.Ty.node with
   | Ty.Tyapp ("fun", [ a; b ]) when a == x.ty ->
-      intern
+      intern st
         ~hash:(mix (mix 3 f.id) x.id)
         ~ty:b ~fv:(Bits.union f.fv x.fv) (Comb (f, x))
   | _ -> failwith "Term.mk_comb: types do not agree"
 
-let mk_abs v body =
+let mk_comb f x = mk_comb_st (state ()) f x
+
+let mk_abs_st st v body =
   match v.node with
   | Var _ ->
-      intern
+      intern st
         ~hash:(mix (mix 4 v.id) body.id)
         ~ty:(Ty.fn v.ty body.ty)
         ~fv:(Bits.remove (Bits.choose v.fv) body.fv)
         (Abs (v, body))
   | _ -> failwith "Term.mk_abs: binder must be a variable"
 
+let mk_abs v body = mk_abs_st (state ()) v body
 let list_mk_comb f args = List.fold_left mk_comb f args
 let list_mk_abs vars body = List.fold_right mk_abs vars body
-let eq_const ty = mk_const_raw "=" (Ty.fn ty (Ty.fn ty Ty.bool))
+let eq_const st ty =
+  match Hashtbl.find_opt st.eq_consts ty.Ty.id with
+  | Some c -> c
+  | None ->
+      let c = mk_const_raw_st st "=" (Ty.fn ty (Ty.fn ty Ty.bool)) in
+      Hashtbl.add st.eq_consts ty.Ty.id c;
+      c
 
 let mk_eq l r =
   if l.ty != r.ty then failwith "Term.mk_eq: sides have different types"
-  else mk_comb (mk_comb (eq_const l.ty) l) r
+  else
+    let st = state () in
+    mk_comb_st st (mk_comb_st st (eq_const st l.ty) l) r
 
 let dest_var tm =
   match tm.node with
@@ -205,7 +322,8 @@ let strip_comb tm =
 (* Free variables                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let frees tm = List.map var_of_index (Bits.elements tm.fv)
+let frees_st st tm = List.map (var_of_index st) (Bits.elements tm.fv)
+let frees tm = frees_st (state ()) tm
 
 let var_index v =
   match v.node with
@@ -214,7 +332,7 @@ let var_index v =
 
 let free_in v tm = Bits.mem (var_index v) tm.fv
 
-let variant avoid v =
+let variant_st st avoid v =
   let names =
     List.filter_map
       (fun tm -> match tm.node with Var (n, _) -> Some n | _ -> None)
@@ -223,8 +341,10 @@ let variant avoid v =
   match v.node with
   | Var (n, ty) ->
       let rec go n = if List.mem n names then go (n ^ "'") else n in
-      mk_var (go n) ty
+      mk_var_st st (go n) ty
   | _ -> failwith "Term.variant: not a variable"
+
+let variant avoid v = variant_st (state ()) avoid v
 
 (* ------------------------------------------------------------------ *)
 (* Alpha equivalence and ordering                                      *)
@@ -236,13 +356,11 @@ let variant avoid v =
    terms; without the memo such comparisons would be exponential in the
    dag depth.  An environment pair (v, v) constrains nothing, so it can be
    dropped for memoisation purposes. *)
-let orda_cache : (int, int) Hashtbl.t = Hashtbl.create 4096
-
-let rec orda_memo t1 t2 =
+let rec orda_memo cache t1 t2 =
   if t1 == t2 then 0
   else
     let key = (t1.id lsl 31) lor t2.id in
-    match Hashtbl.find_opt orda_cache key with
+    match Hashtbl.find_opt cache key with
     | Some c -> c
     | None ->
         let c =
@@ -251,10 +369,10 @@ let rec orda_memo t1 t2 =
               (* interned: distinct nodes are unequal, order by id *)
               Int.compare t1.id t2.id
           | Comb (f1, x1), Comb (f2, x2) ->
-              let c = orda_memo f1 f2 in
-              if c <> 0 then c else orda_memo x1 x2
+              let c = orda_memo cache f1 f2 in
+              if c <> 0 then c else orda_memo cache x1 x2
           | Abs (v1, b1), Abs (v2, b2) ->
-              if v1 == v2 then orda_memo b1 b2
+              if v1 == v2 then orda_memo cache b1 b2
               else
                 let c = Ty.compare v1.ty v2.ty in
                 if c <> 0 then c else orda_plain [ (v1, v2) ] b1 b2
@@ -265,9 +383,8 @@ let rec orda_memo t1 t2 =
           | Comb _, _ -> -1
           | _, Comb _ -> 1
         in
-        if Hashtbl.length orda_cache > 2_000_000 then
-          Hashtbl.reset orda_cache;
-        Hashtbl.add orda_cache key c;
+        if Hashtbl.length cache > 2_000_000 then Hashtbl.reset cache;
+        Hashtbl.add cache key c;
         c
 
 and orda_plain env t1 t2 =
@@ -301,8 +418,12 @@ and ord_var env v1 v2 =
       else if e2 then 1
       else ord_var rest v1 v2
 
-let alphaorder t1 t2 = orda_memo t1 t2
-let aconv t1 t2 = alphaorder t1 t2 = 0
+(* Physically-equal terms compare equal without touching the domain
+   state — keeps the hash-consing fast path free of the DLS lookup. *)
+let alphaorder t1 t2 =
+  if t1 == t2 then 0 else orda_memo (state ()).orda_cache t1 t2
+
+let aconv t1 t2 = t1 == t2 || alphaorder t1 t2 = 0
 
 (* ------------------------------------------------------------------ *)
 (* Substitution                                                        *)
@@ -325,7 +446,7 @@ let domain_set theta =
    filtering or renaming switches to a fresh table for that subtree.
    [dset] is the exact free-variable set of the substitution's domain:
    subtrees whose own set is disjoint from it are returned unchanged. *)
-let rec vsubst_go dset theta memo tm =
+let rec vsubst_go st dset theta memo tm =
   if Bits.disjoint tm.fv dset then tm
   else
     match Hashtbl.find_opt memo tm.id with
@@ -339,9 +460,9 @@ let rec vsubst_go dset theta memo tm =
               | None -> tm)
           | Const _ -> tm
           | Comb (f, x) ->
-              let f' = vsubst_go dset theta memo f in
-              let x' = vsubst_go dset theta memo x in
-              if f' == f && x' == x then tm else mk_comb f' x'
+              let f' = vsubst_go st dset theta memo f in
+              let x' = vsubst_go st dset theta memo x in
+              if f' == f && x' == x then tm else mk_comb_st st f' x'
           | Abs (v, body) ->
               (* The per-node sets are exact, so bindings whose variable
                  does not occur below are dropped without any traversal. *)
@@ -355,28 +476,29 @@ let rec vsubst_go dset theta memo tm =
               else if List.exists (fun (_, t) -> free_in v t) theta' then begin
                 (* Capture: rename the binder before substituting. *)
                 let avoid =
-                  List.concat_map (fun (_, t) -> frees t) theta' @ frees body
+                  List.concat_map (fun (_, t) -> frees_st st t) theta'
+                  @ frees_st st body
                 in
-                let v' = variant avoid v in
+                let v' = variant_st st avoid v in
                 let body' =
-                  vsubst_go v.fv [ (v, v') ] (Hashtbl.create 16) body
+                  vsubst_go st v.fv [ (v, v') ] (Hashtbl.create 16) body
                 in
                 let body'' =
-                  vsubst_go (domain_set theta') theta' (Hashtbl.create 16)
+                  vsubst_go st (domain_set theta') theta' (Hashtbl.create 16)
                     body'
                 in
-                mk_abs v' body''
+                mk_abs_st st v' body''
               end
               else if List.length theta' = List.length theta then begin
-                let body' = vsubst_go dset theta memo body in
-                if body' == body then tm else mk_abs v body'
+                let body' = vsubst_go st dset theta memo body in
+                if body' == body then tm else mk_abs_st st v body'
               end
               else begin
                 let body' =
-                  vsubst_go (domain_set theta') theta' (Hashtbl.create 16)
+                  vsubst_go st (domain_set theta') theta' (Hashtbl.create 16)
                     body
                 in
-                if body' == body then tm else mk_abs v body'
+                if body' == body then tm else mk_abs_st st v body'
               end
         in
         Hashtbl.add memo tm.id r;
@@ -386,7 +508,7 @@ let vsubst theta tm =
   if theta = [] then tm
   else begin
     check_subst_types theta;
-    vsubst_go (domain_set theta) theta (Hashtbl.create 256) tm
+    vsubst_go (state ()) (domain_set theta) theta (Hashtbl.create 256) tm
   end
 
 (* ------------------------------------------------------------------ *)
@@ -395,11 +517,11 @@ let vsubst theta tm =
 
 exception Clash of t
 
-let rec inst_go env tyin tm =
+let rec inst_go st env tyin tm =
   match tm.node with
   | Var (n, ty) ->
       let ty' = Ty.subst tyin ty in
-      let tm' = if ty' == ty then tm else mk_var n ty' in
+      let tm' = if ty' == ty then tm else mk_var_st st n ty' in
       (* If a bound variable's image collides with the image of a distinct
          variable we must rename; detect this via the environment. *)
       (match List.find_opt (fun (k, _) -> k == tm') env with
@@ -408,27 +530,27 @@ let rec inst_go env tyin tm =
       tm'
   | Const (n, ty) ->
       let ty' = Ty.subst tyin ty in
-      if ty' == ty then tm else mk_const_raw n ty'
+      if ty' == ty then tm else mk_const_raw_st st n ty'
   | Comb (f, x) ->
-      let f' = inst_go env tyin f in
-      let x' = inst_go env tyin x in
-      if f' == f && x' == x then tm else mk_comb f' x'
+      let f' = inst_go st env tyin f in
+      let x' = inst_go st env tyin x in
+      if f' == f && x' == x then tm else mk_comb_st st f' x'
   | Abs (v, body) -> (
-      let v' = inst_go [] tyin v in
+      let v' = inst_go st [] tyin v in
       let env' = (v', v) :: env in
       try
-        let body' = inst_go env' tyin body in
-        if v' == v && body' == body then tm else mk_abs v' body'
+        let body' = inst_go st env' tyin body in
+        if v' == v && body' == body then tm else mk_abs_st st v' body'
       with Clash w' when w' == v' ->
         (* Rename the binder to avoid the collision and retry. *)
-        let ifrees = List.map (inst_go [] tyin) (frees body) in
-        let v'' = variant ifrees v' in
+        let ifrees = List.map (inst_go st [] tyin) (frees_st st body) in
+        let v'' = variant_st st ifrees v' in
         let n'', _ = dest_var v'' in
-        let z = mk_var n'' v.ty in
+        let z = mk_var_st st n'' v.ty in
         let body' = vsubst [ (v, z) ] body in
-        inst_go env tyin (mk_abs z body'))
+        inst_go st env tyin (mk_abs_st st z body'))
 
-let inst tyin tm = if tyin = [] then tm else inst_go [] tyin tm
+let inst tyin tm = if tyin = [] then tm else inst_go (state ()) [] tyin tm
 
 (* ------------------------------------------------------------------ *)
 (* First-order matching                                                *)
@@ -478,48 +600,73 @@ let term_match lconsts pat tm =
 (* ------------------------------------------------------------------ *)
 
 let stats () =
-  let live = W.count itab in
-  if live > !peak then peak := live;
+  let st = state () in
+  let live = W.count st.itab in
+  if live > st.peak then st.peak <- live;
   {
-    mk_calls = !mk_calls;
-    intern_hits = !intern_hits;
-    intern_misses = !intern_misses;
+    mk_calls = st.mk_calls;
+    intern_hits = st.intern_hits;
+    intern_misses = st.intern_misses;
     live_nodes = live;
-    peak_nodes = !peak;
-    var_count = !n_vars;
+    peak_nodes = st.peak;
+    var_count = st.n_vars;
   }
+
+(* Aggregate over every domain's state.  Monotone counters are summed
+   (each domain counts only its own work, so the sum is the fleet total);
+   the population fields are summed as well, which counts nodes seeded
+   into several domains once per copy — they are per-table populations,
+   not identities.  Exact only while other domains are quiescent. *)
+let global_stats () =
+  let states = Mutex.protect registry_mu (fun () -> !registry) in
+  List.fold_left
+    (fun (acc : stats) st ->
+      {
+        mk_calls = acc.mk_calls + st.mk_calls;
+        intern_hits = acc.intern_hits + st.intern_hits;
+        intern_misses = acc.intern_misses + st.intern_misses;
+        live_nodes = acc.live_nodes + W.count st.itab;
+        peak_nodes = max acc.peak_nodes st.peak;
+        var_count = max acc.var_count st.n_vars;
+      })
+    {
+      mk_calls = 0;
+      intern_hits = 0;
+      intern_misses = 0;
+      live_nodes = 0;
+      peak_nodes = 0;
+      var_count = 0;
+    }
+    states
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let pp_budget = ref 20_000
+let pp_budget_key = Domain.DLS.new_key (fun () -> ref 20_000)
 
-let rec pp ppf tm =
-  decr pp_budget;
-  if !pp_budget < 0 then Format.pp_print_string ppf "..."
+let rec pp_go budget ppf tm =
+  decr budget;
+  if !budget < 0 then Format.pp_print_string ppf "..."
   else
     match tm.node with
     | Var (n, _) | Const (n, _) -> Format.pp_print_string ppf n
     | Comb ({ node = Comb ({ node = Const ("=", _); _ }, l); _ }, r) ->
-        Format.fprintf ppf "(%a = %a)" pp l pp r
+        Format.fprintf ppf "(%a = %a)" (pp_go budget) l (pp_go budget) r
     | Comb ({ node = Comb ({ node = Const ("/\\", _); _ }, l); _ }, r) ->
-        Format.fprintf ppf "(%a /\\ %a)" pp l pp r
+        Format.fprintf ppf "(%a /\\ %a)" (pp_go budget) l (pp_go budget) r
     | Comb ({ node = Comb ({ node = Const ("==>", _); _ }, l); _ }, r) ->
-        Format.fprintf ppf "(%a ==> %a)" pp l pp r
+        Format.fprintf ppf "(%a ==> %a)" (pp_go budget) l (pp_go budget) r
     | Comb ({ node = Const ("!", _); _ }, { node = Abs (v, b); _ }) ->
-        Format.fprintf ppf "(!%a. %a)" pp v pp b
+        Format.fprintf ppf "(!%a. %a)" (pp_go budget) v (pp_go budget) b
     | Comb ({ node = Comb ({ node = Const (",", _); _ }, l); _ }, r) ->
-        Format.fprintf ppf "(%a, %a)" pp l pp r
-    | Comb (f, x) -> Format.fprintf ppf "(%a %a)" pp f pp x
-    | Abs (v, b) -> Format.fprintf ppf "(\\%a. %a)" pp v pp b
-
-let to_string tm = Format.asprintf "%a" pp tm
+        Format.fprintf ppf "(%a, %a)" (pp_go budget) l (pp_go budget) r
+    | Comb (f, x) -> Format.fprintf ppf "(%a %a)" (pp_go budget) f (pp_go budget) x
+    | Abs (v, b) -> Format.fprintf ppf "(\\%a. %a)" (pp_go budget) v (pp_go budget) b
 
 let pp ppf tm =
-  pp_budget := 20_000;
-  pp ppf tm
+  let budget = Domain.DLS.get pp_budget_key in
+  budget := 20_000;
+  pp_go budget ppf tm
 
-let to_string tm =
-  pp_budget := 20_000;
-  to_string tm
+let to_string tm = Format.asprintf "%a" pp tm

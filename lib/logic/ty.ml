@@ -1,8 +1,16 @@
-(* Hash-consed types.  Every [t] in the program is interned in the
-   open-addressed table below, so structural equality coincides with
-   physical equality and [compare] is a single int comparison on ids.
-   The table is strong: the set of distinct types in a run is small
-   (bounded by the circuit's tuple shapes), so nothing is ever evicted. *)
+(* Hash-consed types.  Every [t] in the program is interned in an
+   open-addressed table, so structural equality coincides with physical
+   equality and [compare] is a single int comparison on ids.  The table is
+   strong: the set of distinct types in a run is small (bounded by the
+   circuit's tuple shapes), so nothing is ever evicted.
+
+   The table lives in domain-local state (Domain.DLS): each OCaml 5
+   domain interns into its own table, so parallel engine runs never
+   contend on it.  Worker domains are seeded from a frozen snapshot of
+   the spawning domain's table (see [freeze]), which keeps the physical-
+   equality invariant valid for every type built during module
+   initialisation (Ty.bool, the signature's generic types, ...) even when
+   those shared nodes flow into worker domains. *)
 
 type t = { id : int; hash : int; node : node }
 and node = Tyvar of string | Tyapp of string * t list
@@ -26,11 +34,66 @@ let node_equal n1 n2 =
       && List.for_all2 (fun x y -> x == y) a1 a2
   | _ -> false
 
-(* Open-addressed intern table with linear probing; grown at ~70% load. *)
-let tab = ref (Array.make 1024 (None : t option))
-let tab_mask = ref 1023
-let count = ref 0
-let next_id = ref 0
+(* ------------------------------------------------------------------ *)
+(* Domain-local intern table                                           *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  mutable tab : t option array; (* open-addressed, linear probing *)
+  mutable tab_mask : int;
+  mutable count : int;
+  mutable next_id : int;
+  base_id : int; (* next_id at domain start; ids below were seeded *)
+}
+
+type frozen = {
+  f_tab : t option array;
+  f_mask : int;
+  f_count : int;
+  f_next_id : int;
+}
+
+let frozen_mu = Mutex.create ()
+let the_frozen : frozen option ref = ref None
+
+(* Every domain's state, for cross-domain aggregate statistics.  Entries
+   are appended under the mutex at domain-state creation and never
+   removed; reading another domain's counters is only exact once that
+   domain has quiesced (e.g. after a pool join). *)
+let registry_mu = Mutex.create ()
+let registry : state list ref = ref []
+
+let fresh_state () =
+  { tab = Array.make 1024 None; tab_mask = 1023; count = 0; next_id = 0;
+    base_id = 0 }
+
+let state_of_frozen f =
+  { tab = Array.copy f.f_tab; tab_mask = f.f_mask; count = f.f_count;
+    next_id = f.f_next_id; base_id = f.f_next_id }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        match Mutex.protect frozen_mu (fun () -> !the_frozen) with
+        | None -> fresh_state ()
+        | Some f -> state_of_frozen f
+      in
+      Mutex.protect registry_mu (fun () -> registry := st :: !registry);
+      st)
+
+let state () = Domain.DLS.get key
+
+let freeze () =
+  let st = state () in
+  let f =
+    { f_tab = Array.copy st.tab; f_mask = st.tab_mask; f_count = st.count;
+      f_next_id = st.next_id }
+  in
+  Mutex.protect frozen_mu (fun () -> the_frozen := Some f)
+
+(* ------------------------------------------------------------------ *)
+(* Interning                                                           *)
+(* ------------------------------------------------------------------ *)
 
 let rec insert_raw arr mask ty =
   let rec go i =
@@ -40,35 +103,42 @@ let rec insert_raw arr mask ty =
   in
   go (ty.hash land mask)
 
-and grow () =
-  let old = !tab in
+and grow st =
+  let old = st.tab in
   let size = 2 * Array.length old in
   let arr = Array.make size None in
   let mask = size - 1 in
   Array.iter (function None -> () | Some ty -> insert_raw arr mask ty) old;
-  tab := arr;
-  tab_mask := mask
+  st.tab <- arr;
+  st.tab_mask <- mask
 
 let intern node =
+  let st = state () in
   let h = hash_node node in
   let rec probe i =
-    match !tab.(i) with
+    match st.tab.(i) with
     | None ->
-        let ty = { id = !next_id; hash = h; node } in
-        incr next_id;
-        !tab.(i) <- Some ty;
-        incr count;
-        if !count * 10 > Array.length !tab * 7 then grow ();
+        let ty = { id = st.next_id; hash = h; node } in
+        st.next_id <- st.next_id + 1;
+        st.tab.(i) <- Some ty;
+        st.count <- st.count + 1;
+        if st.count * 10 > Array.length st.tab * 7 then grow st;
         ty
     | Some ty ->
         if ty.hash = h && node_equal ty.node node then ty
-        else probe ((i + 1) land !tab_mask)
+        else probe ((i + 1) land st.tab_mask)
   in
-  probe (h land !tab_mask)
+  probe (h land st.tab_mask)
 
 let var v = intern (Tyvar v)
 let app op args = intern (Tyapp (op, args))
-let node_count () = !next_id
+let node_count () = (state ()).next_id
+
+let global_node_count () =
+  Mutex.protect registry_mu (fun () ->
+      List.fold_left (fun acc st -> acc + (st.next_id - st.base_id)) 0
+        !registry)
+
 let bool = app "bool" []
 let num = app "num" []
 let alpha = var "a"

@@ -94,7 +94,21 @@ val equal : t -> t -> bool
 (** Physical equality — sound and complete thanks to interning. *)
 
 val node_count : unit -> int
-(** Number of distinct type nodes interned since startup. *)
+(** Number of distinct type nodes interned in the {e current domain}
+    (seeded nodes inherited from the spawning domain included). *)
+
+val global_node_count : unit -> int
+(** Number of distinct type nodes created across {e all} domains since
+    startup, each node counted in the domain that created it (seeded
+    snapshot nodes are counted once, in their creating domain).  Exact
+    only while the other domains are quiescent (e.g. after a pool join). *)
+
+val freeze : unit -> unit
+(** Snapshot the calling domain's intern table as the seed for domains
+    spawned afterwards: their tables start as a copy, so every type
+    already interned here keeps its physical-equality property there.
+    Called by [Logic.Domain_state.prepare_spawn]; terms and types created
+    after the freeze must not flow into the new domains. *)
 
 val pp : Format.formatter -> t -> unit
 (** Pretty-print a type, e.g. [:(bool # num) -> bool]. *)

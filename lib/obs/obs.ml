@@ -70,6 +70,21 @@ let snapshot ?(peak_nodes = 0) (c : Counters.t) =
     peak_nodes;
   }
 
+(* Combine per-domain (or per-run) snapshots into one row: monotone
+   counters sum; [peak_nodes] describes concurrent tables, so the peaks
+   sum as well (an upper bound on the simultaneous population). *)
+let add a b =
+  {
+    mk_calls = a.mk_calls + b.mk_calls;
+    unique_hits = a.unique_hits + b.unique_hits;
+    unique_misses = a.unique_misses + b.unique_misses;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    memo_hits = a.memo_hits + b.memo_hits;
+    memo_misses = a.memo_misses + b.memo_misses;
+    peak_nodes = a.peak_nodes + b.peak_nodes;
+  }
+
 let hit_rate s =
   let hits = s.cache_hits + s.memo_hits in
   let total = hits + s.cache_misses + s.memo_misses in
@@ -117,6 +132,22 @@ let kernel_delta ~before ~after =
     live_term_nodes = after.live_term_nodes;
     peak_term_nodes = after.peak_term_nodes;
     ty_nodes = after.ty_nodes;
+  }
+
+(* Combine per-domain kernel deltas: monotone counters sum; the
+   population fields describe distinct per-domain tables, so live/ty sum
+   and the sampled peak takes the max (it is per-table by construction). *)
+let kernel_add a b =
+  {
+    rule_apps = a.rule_apps + b.rule_apps;
+    term_mk_calls = a.term_mk_calls + b.term_mk_calls;
+    term_intern_hits = a.term_intern_hits + b.term_intern_hits;
+    term_intern_misses = a.term_intern_misses + b.term_intern_misses;
+    conv_memo_hits = a.conv_memo_hits + b.conv_memo_hits;
+    conv_memo_misses = a.conv_memo_misses + b.conv_memo_misses;
+    live_term_nodes = a.live_term_nodes + b.live_term_nodes;
+    peak_term_nodes = max a.peak_term_nodes b.peak_term_nodes;
+    ty_nodes = a.ty_nodes + b.ty_nodes;
   }
 
 type engine_run = {

@@ -35,6 +35,11 @@ type snapshot = {
 val empty : snapshot
 val snapshot : ?peak_nodes:int -> Counters.t -> snapshot
 
+val add : snapshot -> snapshot -> snapshot
+(** Combine snapshots of distinct managers/domains: monotone counters
+    sum; [peak_nodes] sums too (per-table peaks of concurrently live
+    tables — an upper bound on the combined simultaneous population). *)
+
 val hit_rate : snapshot -> float
 (** Combined computed-table and memo hit rate in [0, 1]; [0.] when no
     lookups were performed. *)
@@ -63,6 +68,11 @@ val kernel_delta :
 (** Difference of the monotone counters; the population fields
     ([live_term_nodes], [peak_term_nodes], [ty_nodes]) are taken from
     [after] as-is. *)
+
+val kernel_add : kernel_snapshot -> kernel_snapshot -> kernel_snapshot
+(** Combine per-domain deltas: monotone counters and the per-table
+    populations ([live_term_nodes], [ty_nodes]) sum, [peak_term_nodes]
+    takes the max. *)
 
 type engine_run = {
   engine : string;

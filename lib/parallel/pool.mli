@@ -1,0 +1,74 @@
+(** A fixed-size pool of OCaml 5 domains with a work queue and futures.
+
+    Built for fleets of independent computations (the bench's
+    (circuit, engine) cells): submit thunks, await results in whatever
+    order you like, exceptions are captured per task and re-raised at
+    {!await}.  Tasks may carry an absolute deadline; a task whose
+    deadline passes while it is still queued is cancelled instead of run,
+    and running tasks can poll {!check} cooperatively.
+
+    A pool of size [<= 1] spawns no domains: {!submit} runs each thunk
+    inline in the calling domain, in submission order — bit-for-bit the
+    sequential behaviour ([BENCH_JOBS=1]).
+
+    Creating a pool of size [> 1] first calls
+    [Logic.Domain_state.prepare_spawn], so worker domains inherit every
+    term/type interned so far (theorem libraries, constants) with
+    physical equality intact.  The discipline that implies: create pools
+    from the initial domain after module initialisation, and do not let
+    terms built after pool creation flow between domains. *)
+
+type t
+(** A pool.  Thread-safe: any domain may submit. *)
+
+type 'a future
+
+exception Cancelled
+(** Raised by {!await} on a cancelled task, by {!check} inside a task
+    whose deadline has passed, and usable by tasks to cancel
+    themselves. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains ([jobs <= 1]: none;
+    default [Domain.recommended_domain_count ()]). *)
+
+val size : t -> int
+(** The configured number of jobs (1 = inline/sequential). *)
+
+val submit : ?deadline:float -> t -> (unit -> 'a) -> 'a future
+(** Enqueue a thunk; [deadline] is an absolute [Unix.gettimeofday] time.
+    On an inline pool the thunk runs before [submit] returns.
+    @raise Failure if the pool has been shut down. *)
+
+val await : 'a future -> 'a
+(** Block until the task resolves.  Re-raises the task's exception (with
+    its backtrace) if it failed; raises {!Cancelled} if it was
+    cancelled. *)
+
+val peek : 'a future -> bool
+(** [true] once the future is resolved (done, failed or cancelled);
+    never blocks. *)
+
+val cancel : 'a future -> unit
+(** Cancel the task if it has not started; no-op otherwise (running
+    tasks stop only at their next {!check}/budget poll). *)
+
+val map_list : ?deadline:float -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f xs]: submit [f x] for every element, await in list
+    order.  The first failed/cancelled element re-raises. *)
+
+val check : unit -> unit
+(** Cooperative cancellation point for code running inside a task:
+    @raise Cancelled when the task's deadline has passed.  Cheap enough
+    to call from inner loops, and compatible with the engines' own
+    budget hooks ([Conv.poll] / [Common.check]). *)
+
+val deadline : unit -> float option
+(** The running task's deadline, if any — e.g. to derive a
+    [Common.budget] for an engine call made inside the task. *)
+
+val shutdown : t -> unit
+(** Drain the queue, then join all workers.  Idempotent. *)
+
+val run : ?jobs:int -> (t -> 'a) -> 'a
+(** [run ~jobs f]: [create], apply [f], always [shutdown]. *)

@@ -10,4 +10,5 @@ let () =
       ("engines", Test_engines.suite);
       ("hash", Test_hash.suite);
       ("circuits", Test_circuits.suite);
+      ("parallel", Test_parallel.suite);
     ]
