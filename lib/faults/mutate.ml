@@ -1,0 +1,257 @@
+(* Mutators: each takes a healthy (circuit, level, valid cut) base and
+   forges one corrupted input for the pipeline.  Three families, matching
+   the three trust boundaries of the formal step:
+
+   - [cut_*]    corrupt the raw gate list a heuristic would hand to
+                [Cut.of_gates];
+   - [forged_*] corrupt a {!Cut.t} record directly, bypassing
+                [Cut.of_gates] (an "external program" fabricating the
+                control data structure itself);
+   - [netlist_*] corrupt the circuit record under a healthy cut;
+   - plus heuristic-level perturbations ([prefix_bad_k],
+     [wrong_circuit]: a lying [Cut.prefixes]/[Cut.maximal]).
+
+   A mutator may also produce a mutant that happens to still be valid
+   (e.g. dropping a sink gate from f).  That is deliberate: the campaign
+   cross-checks accepted mutants for equivalence, so benign mutations
+   exercise the "accepted" path of the classifier instead of being
+   filtered out here. *)
+
+type spec =
+  | Gates of Circuit.signal list  (** goes through [Cut.of_gates] *)
+  | Forged of Cut.t  (** handed to the pipeline as-is *)
+  | Prefix_k of int  (** drive [Cut.prefixes] with this count *)
+
+type base = {
+  base_name : string;
+  circuit : Circuit.t;
+  level : Hash.Embed.level;
+  cut : Cut.t;  (** a known-valid cut of [circuit] *)
+}
+
+type subject = {
+  mutator : string;
+  circuit : Circuit.t;
+  level : Hash.Embed.level;
+  spec : spec;
+}
+
+let pick rng l = List.nth l (Random.State.int rng (List.length l))
+
+let drop_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let gate_signals c =
+  let acc = ref [] in
+  Array.iteri
+    (fun s d -> match d with Circuit.Gate _ -> acc := s :: !acc | _ -> ())
+    c.Circuit.drivers;
+  List.rev !acc
+
+let non_gate_signals c =
+  let acc = ref [] in
+  Array.iteri
+    (fun s d ->
+      match d with
+      | Circuit.Input _ | Circuit.Reg_out _ -> acc := s :: !acc
+      | Circuit.Gate _ -> ())
+    c.Circuit.drivers;
+  List.rev !acc
+
+let subject (b : base) mutator ?circuit spec =
+  let circuit = Option.value ~default:b.circuit circuit in
+  Some { mutator; circuit; level = b.level; spec }
+
+(* --- cut-list mutators ------------------------------------------------ *)
+
+let cut_drop_gate rng (b : base) =
+  let f = b.cut.Cut.f_gates in
+  if f = [] then None
+  else
+    let n = Random.State.int rng (List.length f) in
+    subject b "cut_drop_gate" (Gates (drop_nth n f))
+
+let cut_add_gate rng (b : base) =
+  let in_f = List.sort_uniq compare b.cut.Cut.f_gates in
+  let outside =
+    List.filter (fun s -> not (List.mem s in_f)) (gate_signals b.circuit)
+  in
+  if outside = [] then None
+  else
+    subject b "cut_add_gate" (Gates (b.cut.Cut.f_gates @ [ pick rng outside ]))
+
+let cut_nongate_member rng (b : base) =
+  match non_gate_signals b.circuit with
+  | [] -> None
+  | l -> subject b "cut_nongate_member" (Gates (b.cut.Cut.f_gates @ [ pick rng l ]))
+
+let cut_out_of_range rng (b : base) =
+  let n = Circuit.n_signals b.circuit in
+  let s =
+    if Random.State.bool rng then n + 1 + Random.State.int rng 8
+    else -1 - Random.State.int rng 8
+  in
+  subject b "cut_out_of_range" (Gates (b.cut.Cut.f_gates @ [ s ]))
+
+(* --- forged-record mutators ------------------------------------------- *)
+
+let forged_duplicate rng (b : base) =
+  match b.cut.Cut.f_gates with
+  | [] -> None
+  | f ->
+      let g = pick rng f in
+      subject b "forged_duplicate" (Forged { b.cut with Cut.f_gates = f @ [ g ] })
+
+let forged_shuffle _rng (b : base) =
+  match b.cut.Cut.f_gates with
+  | [] | [ _ ] -> None
+  | f -> subject b "forged_shuffle" (Forged { b.cut with Cut.f_gates = List.rev f })
+
+let forged_boundary_drop rng (b : base) =
+  match b.cut.Cut.boundary with
+  | [] -> None
+  | bd ->
+      let n = Random.State.int rng (List.length bd) in
+      subject b "forged_boundary_drop"
+        (Forged { b.cut with Cut.boundary = drop_nth n bd })
+
+let forged_boundary_alien rng (b : base) =
+  let c = b.circuit in
+  let in_f = b.cut.Cut.f_gates in
+  let aliens =
+    List.filter (fun s -> not (List.mem s in_f)) (non_gate_signals c)
+  in
+  let alien =
+    if aliens <> [] && Random.State.bool rng then pick rng aliens
+    else Circuit.n_signals c + 2
+  in
+  subject b "forged_boundary_alien"
+    (Forged { b.cut with Cut.boundary = b.cut.Cut.boundary @ [ alien ] })
+
+let forged_passthrough_drop rng (b : base) =
+  match b.cut.Cut.passthrough with
+  | [] -> None
+  | pt ->
+      let n = Random.State.int rng (List.length pt) in
+      subject b "forged_passthrough_drop"
+        (Forged { b.cut with Cut.passthrough = drop_nth n pt })
+
+let forged_passthrough_alien rng (b : base) =
+  let nregs = Array.length b.circuit.Circuit.registers in
+  let r =
+    if Random.State.bool rng then nregs + Random.State.int rng 4
+    else -1 - Random.State.int rng 4
+  in
+  subject b "forged_passthrough_alien"
+    (Forged { b.cut with Cut.passthrough = b.cut.Cut.passthrough @ [ r ] })
+
+(* --- netlist mutators ------------------------------------------------- *)
+
+let netlist_dangling_output rng (b : base) =
+  let c = b.circuit in
+  let nouts = Array.length c.Circuit.outputs in
+  if nouts = 0 then None
+  else begin
+    let outputs = Array.copy c.Circuit.outputs in
+    let k = Random.State.int rng nouts in
+    let name, _ = outputs.(k) in
+    outputs.(k) <- (name, Circuit.n_signals c + 1 + Random.State.int rng 8);
+    subject b "netlist_dangling_output"
+      ~circuit:{ c with Circuit.outputs } (Forged b.cut)
+  end
+
+let netlist_dup_output rng (b : base) =
+  let c = b.circuit in
+  let nouts = Array.length c.Circuit.outputs in
+  if nouts = 0 then None
+  else begin
+    let name, s = c.Circuit.outputs.(Random.State.int rng nouts) in
+    let outputs = Array.append c.Circuit.outputs [| (name, s) |] in
+    subject b "netlist_dup_output" ~circuit:{ c with Circuit.outputs }
+      (Forged b.cut)
+  end
+
+let netlist_width_lie rng (b : base) =
+  let c = b.circuit in
+  let widths = Array.copy c.Circuit.widths in
+  let s = Random.State.int rng (Array.length widths) in
+  widths.(s) <-
+    (match widths.(s) with
+    | Circuit.B -> Circuit.W 2
+    | Circuit.W n when n < 63 -> Circuit.W (n + 1)
+    | Circuit.W _ -> Circuit.B);
+  subject b "netlist_width_lie" ~circuit:{ c with Circuit.widths }
+    (Forged b.cut)
+
+let netlist_reg_width rng (b : base) =
+  let c = b.circuit in
+  let nregs = Array.length c.Circuit.registers in
+  if nregs = 0 then None
+  else begin
+    let registers = Array.copy c.Circuit.registers in
+    let r = Random.State.int rng nregs in
+    let reg = registers.(r) in
+    let init =
+      match reg.Circuit.init with
+      | Circuit.Bit _ -> Circuit.Word (2, 1)
+      | Circuit.Word _ -> Circuit.Bit true
+    in
+    registers.(r) <- { reg with Circuit.init };
+    subject b "netlist_reg_width" ~circuit:{ c with Circuit.registers }
+      (Forged b.cut)
+  end
+
+(* --- heuristic-level mutators ----------------------------------------- *)
+
+let prefix_bad_k rng (b : base) =
+  subject b "prefix_bad_k" (Prefix_k (-(Random.State.int rng 4)))
+
+(* A lying [Cut.maximal]: returns a perfectly well-formed cut — of a
+   different circuit. *)
+let wrong_circuit (foreign : base) _rng (b : base) =
+  if foreign.circuit == b.circuit then None
+  else subject b "wrong_circuit" (Forged foreign.cut)
+
+(* ---------------------------------------------------------------------- *)
+
+let classes =
+  [
+    "cut_drop_gate";
+    "cut_add_gate";
+    "cut_nongate_member";
+    "cut_out_of_range";
+    "forged_duplicate";
+    "forged_shuffle";
+    "forged_boundary_drop";
+    "forged_boundary_alien";
+    "forged_passthrough_drop";
+    "forged_passthrough_alien";
+    "netlist_dangling_output";
+    "netlist_dup_output";
+    "netlist_width_lie";
+    "netlist_reg_width";
+    "prefix_bad_k";
+    "wrong_circuit";
+  ]
+
+let apply rng ~bases ~base_idx cls =
+  let b = bases.(base_idx) in
+  match cls with
+  | "cut_drop_gate" -> cut_drop_gate rng b
+  | "cut_add_gate" -> cut_add_gate rng b
+  | "cut_nongate_member" -> cut_nongate_member rng b
+  | "cut_out_of_range" -> cut_out_of_range rng b
+  | "forged_duplicate" -> forged_duplicate rng b
+  | "forged_shuffle" -> forged_shuffle rng b
+  | "forged_boundary_drop" -> forged_boundary_drop rng b
+  | "forged_boundary_alien" -> forged_boundary_alien rng b
+  | "forged_passthrough_drop" -> forged_passthrough_drop rng b
+  | "forged_passthrough_alien" -> forged_passthrough_alien rng b
+  | "netlist_dangling_output" -> netlist_dangling_output rng b
+  | "netlist_dup_output" -> netlist_dup_output rng b
+  | "netlist_width_lie" -> netlist_width_lie rng b
+  | "netlist_reg_width" -> netlist_reg_width rng b
+  | "prefix_bad_k" -> prefix_bad_k rng b
+  | "wrong_circuit" ->
+      let foreign = bases.((base_idx + 1) mod Array.length bases) in
+      wrong_circuit foreign rng b
+  | _ -> invalid_arg ("Mutate.apply: unknown class " ^ cls)

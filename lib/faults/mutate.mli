@@ -1,0 +1,43 @@
+(** Fault mutators: forge corrupted inputs for the retiming pipeline from
+    a healthy (circuit, level, valid cut) base.
+
+    Mutator families map to the pipeline's trust boundaries: [cut_*]
+    corrupt the raw gate list fed to [Cut.of_gates]; [forged_*] fabricate
+    a {!Cut.t} record directly; [netlist_*] corrupt the circuit record
+    under a healthy cut; [prefix_bad_k]/[wrong_circuit] model a lying
+    heuristic ([Cut.prefixes] driven out of contract, [Cut.maximal]
+    answering for the wrong circuit).
+
+    Mutants are not guaranteed to be invalid — a benign mutation (e.g.
+    dropping a sink gate from [f]) must be {e accepted and proved
+    equivalent} by the campaign, which exercises the classifier's
+    accepted path. *)
+
+type spec =
+  | Gates of Circuit.signal list  (** goes through [Cut.of_gates] *)
+  | Forged of Cut.t  (** handed to the pipeline as-is *)
+  | Prefix_k of int  (** drive [Cut.prefixes] with this count *)
+
+type base = {
+  base_name : string;
+  circuit : Circuit.t;
+  level : Hash.Embed.level;
+  cut : Cut.t;  (** a known-valid cut of [circuit] *)
+}
+
+type subject = {
+  mutator : string;  (** mutator class name *)
+  circuit : Circuit.t;  (** possibly corrupted *)
+  level : Hash.Embed.level;
+  spec : spec;
+}
+
+val classes : string list
+(** All mutator class names, in a stable order. *)
+
+val apply :
+  Random.State.t -> bases:base array -> base_idx:int -> string ->
+  subject option
+(** [apply rng ~bases ~base_idx cls] forges one mutant of class [cls]
+    from [bases.(base_idx)]; [None] when the class does not apply to that
+    base (e.g. no pass-through register to drop). *)

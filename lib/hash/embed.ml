@@ -20,7 +20,7 @@ let signal_ty level (w : Circuit.width) =
   | _, Circuit.B -> Ty.bool
   | Rt_level, Circuit.W _ -> Ty.bv
   | Bit_level, Circuit.W _ ->
-      failwith "Embed: word signal in a bit-level embedding"
+      Errors.invalid_netlist "Embed: word signal in a bit-level embedding"
 
 let value_term level (v : Circuit.value) =
   match (level, v) with
@@ -28,11 +28,11 @@ let value_term level (v : Circuit.value) =
   | Rt_level, Circuit.Word (w, n) ->
       Automata.Words.mk_bv (List.init w (fun k -> (n lsr k) land 1 = 1))
   | Bit_level, Circuit.Word _ ->
-      failwith "Embed: word value in a bit-level embedding"
+      Errors.invalid_netlist "Embed: word value in a bit-level embedding"
 
 (* Mirrors the balanced shape of [Pairs.list_mk_pair]. *)
 let rec tuple_ty = function
-  | [] -> failwith "Embed: empty tuple"
+  | [] -> Errors.invalid_netlist "Embed: empty tuple"
   | [ ty ] -> ty
   | tys ->
       let n = List.length tys in
@@ -69,11 +69,16 @@ let gate_term level (op : Circuit.op) args =
       value_term level (Circuit.Word (w, n))
 
 let embed level (c : Circuit.t) =
-  if Circuit.n_inputs c = 0 then failwith "Embed: circuit has no inputs";
+  (* full structural audit up front: embedding is the trust boundary of
+     the formal step, so a corrupted netlist must be rejected with a
+     typed [Invalid_netlist] here, before any theorem is attempted *)
+  Circuit.validate c;
+  if Circuit.n_inputs c = 0 then
+    Errors.invalid_netlist "Embed: circuit has no inputs";
   if Array.length c.Circuit.outputs = 0 then
-    failwith "Embed: circuit has no outputs";
+    Errors.invalid_netlist "Embed: circuit has no outputs";
   if Array.length c.Circuit.registers = 0 then
-    failwith "Embed: circuit has no registers";
+    Errors.invalid_netlist "Embed: circuit has no registers";
   let n_in = Circuit.n_inputs c in
   let n_reg = Array.length c.Circuit.registers in
   let in_tys =

@@ -49,9 +49,9 @@ let proj_eta_conv =
 
 let permute_registers level c p =
   if not (is_permutation p) then
-    failwith "Encode.permute_registers: not a permutation";
+    Errors.invalid_cut "Encode.permute_registers: not a permutation";
   if Array.length p <> Array.length c.Circuit.registers then
-    failwith "Encode.permute_registers: wrong permutation size";
+    Errors.invalid_cut "Encode.permute_registers: wrong permutation size";
   let t0 = Unix.gettimeofday () in
   let n = Array.length p in
   let inv = Array.make n 0 in

@@ -14,5 +14,30 @@ exception Join_mismatch of string
     conventional synthesis layer, caught — by construction — before a
     theorem is produced). *)
 
+exception Invalid_cut = Cut.Invalid_cut
+(** Re-export of {!Cut.Invalid_cut}: the heuristic's control information
+    (cut records, prefix counts, register permutations) is structurally
+    broken.  Defined in [lib/retiming] so that layer can raise it without
+    depending on [lib/hash]; aliased here so consumers see one error
+    surface. *)
+
+exception Invalid_netlist = Circuit.Invalid_netlist
+(** Re-export of {!Circuit.Invalid_netlist}: a netlist handed to the
+    formal step is structurally broken (dangling signals, lying width
+    tables, duplicate outputs...). *)
+
+exception Kernel_invariant of string
+(** An internal invariant of the synthesis-application layer itself is
+    violated (e.g. composed steps that do not chain).  This class never
+    blames the heuristic: seeing it means a bug in this repository, and
+    the fault campaign treats it as a wrong-exception-class outcome. *)
+
 let cut_mismatch fmt = Format.kasprintf (fun s -> raise (Cut_mismatch s)) fmt
 let join_mismatch fmt = Format.kasprintf (fun s -> raise (Join_mismatch s)) fmt
+let invalid_cut fmt = Format.kasprintf (fun s -> raise (Invalid_cut s)) fmt
+
+let invalid_netlist fmt =
+  Format.kasprintf (fun s -> raise (Invalid_netlist s)) fmt
+
+let kernel_invariant fmt =
+  Format.kasprintf (fun s -> raise (Kernel_invariant s)) fmt

@@ -43,6 +43,13 @@ let retime_common ?budget level c cut_opt gates =
   let e = Embed.embed level c in
   let t1 = now () in
   check ();
+  (* the cut record is untrusted control data from the heuristic: audit
+     it against the (just validated) netlist before the kernel sees it,
+     so a forged record fails with [Invalid_cut] instead of crashing
+     inside the split *)
+  (match cut_opt with
+  | Some cut -> Forward.validate_cut c cut
+  | None -> ());
   (* step 1: split *)
   let sp =
     match cut_opt with
@@ -136,7 +143,7 @@ let retime_gates ?budget level c gates = retime_common ?budget level c None gate
 
 let compose s1 s2 =
   if not (Term.aconv s1.rhs_term s2.lhs_term) then
-    failwith "Synthesis.compose: steps do not chain"
+    Errors.kernel_invariant "Synthesis.compose: steps do not chain"
   else
     let theorem = Kernel.trans s1.theorem s2.theorem in
     {
@@ -163,7 +170,7 @@ let check s =
     List.exists
       (fun lvl ->
         try Term.aconv tm (Embed.mk_automaton_of (Embed.embed lvl c))
-        with Failure _ -> false)
+        with Failure _ | Errors.Invalid_netlist _ -> false)
       [ Embed.Bit_level; Embed.Rt_level ]
   in
   Term.aconv lhs s.lhs_term && Term.aconv rhs s.rhs_term

@@ -99,7 +99,7 @@ let expand (c : Circuit.t) : Circuit.t =
                 Array.init (Array.length x) (fun k -> xor_ b x.(k) y.(k))
             | Wconst (n, v), [] ->
                 Array.init n (fun k -> constb b ((v lsr k) land 1 = 1))
-            | _ -> failwith "Bitblast: malformed gate"
+            | _ -> Circuit.invalid_netlist "Bitblast: malformed gate"
           in
           map.(s) <- result)
     (topo_order c);

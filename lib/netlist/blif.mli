@@ -1,10 +1,25 @@
-(** BLIF export for bit-level netlists (the interchange format of the
-    SIS era — "as intermediate formats HDLs are used", paper §I).
+(** BLIF export/import for bit-level netlists (the interchange format of
+    the SIS era — "as intermediate formats HDLs are used", paper §I).
 
     Word-level circuits must be bit-blasted first.  Latches are emitted
-    with their initial values; gates become [.names] truth tables. *)
+    with their initial values; gates become [.names] truth tables.
+
+    Net naming: primary outputs keep the user's names (sanitized to the
+    BLIF token alphabet and uniquified among themselves) and every output
+    is driven through an explicit buffer; internal nets use a
+    [pi%d]/[lq%d]/[n%d] namespace that steps aside from any colliding
+    output name, so hostile output names such as ["n3"] or ["pi0"] can no
+    longer alias an unrelated internal net. *)
 
 val to_string : Circuit.t -> string
-(** @raise Failure on word-level circuits. *)
+(** @raise Circuit.Invalid_netlist on word-level circuits. *)
 
 val output : out_channel -> Circuit.t -> unit
+
+val of_string : string -> Circuit.t
+(** Parse a BLIF model back into a circuit.  Accepts the subset this
+    module emits ([.model]/[.inputs]/[.outputs]/[.latch]/[.names]/[.end],
+    single-output truth tables recognisable as the gate library, latch
+    initial values [0]/[1]); used by the round-trip tests.
+    @raise Circuit.Invalid_netlist on malformed input — in particular on
+    duplicate net definitions, which is how aliased emission is caught. *)

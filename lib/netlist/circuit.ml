@@ -2,6 +2,16 @@ type signal = int
 type width = B | W of int
 type value = Bit of bool | Word of int * int
 
+(* Typed failure for every structural defect of a netlist: the campaign
+   driver (lib/faults) and the formal step (lib/hash) distinguish "the
+   netlist is broken" from "the cut is broken" and from genuine kernel
+   bugs by exception class, so nothing at this layer may raise a bare
+   [Failure]. *)
+exception Invalid_netlist of string
+
+let invalid_netlist fmt =
+  Printf.ksprintf (fun s -> raise (Invalid_netlist s)) fmt
+
 type op =
   | Not
   | And
@@ -66,7 +76,7 @@ let check_width = function
   | B -> ()
   | W n ->
       if n < 1 || n > 63 then
-        failwith "Circuit: unsupported word width (must be 1..63)"
+        invalid_netlist "Circuit: unsupported word width (must be 1..63)"
 
 let push b d w =
   let id = b.count in
@@ -86,7 +96,7 @@ let width_of_value = function Bit _ -> B | Word (w, _) -> W w
 
 let reg b ~init w =
   check_width w;
-  if width_of_value init <> w then failwith "Circuit.reg: init width mismatch";
+  if width_of_value init <> w then invalid_netlist "Circuit.reg: init width mismatch";
   let ridx = b.n_bregs in
   Hashtbl.replace b.bregs ridx (ref None, init, w);
   b.n_bregs <- ridx + 1;
@@ -94,16 +104,16 @@ let reg b ~init w =
 
 let reg_index_of b r =
   match Hashtbl.find_opt b.bwidth_tbl r with
-  | None -> failwith "Circuit.connect_reg: unknown signal"
+  | None -> invalid_netlist "Circuit.connect_reg: unknown signal"
   | Some _ -> (
       match List.nth b.bdrivers (b.count - 1 - r) with
       | Reg_out ridx -> ridx
-      | _ -> failwith "Circuit.connect_reg: not a register output")
+      | _ -> invalid_netlist "Circuit.connect_reg: not a register output")
 
 let connect_reg b r ~data =
   let ridx = reg_index_of b r in
   let slot, _, _ = Hashtbl.find b.bregs ridx in
-  if !slot <> None then failwith "Circuit.connect_reg: already connected";
+  if !slot <> None then invalid_netlist "Circuit.connect_reg: already connected";
   slot := Some data
 
 let sig_width b s = Hashtbl.find b.bwidth_tbl s
@@ -114,7 +124,7 @@ let op_signature op arg_widths =
   let word2 () =
     match arg_widths with
     | [ W n; W m ] when n = m -> n
-    | _ -> failwith "Circuit: word operator width mismatch"
+    | _ -> invalid_netlist "Circuit: word operator width mismatch"
   in
   match (op, arg_widths) with
   | Not, [ B ] | Buf, [ B ] -> B
@@ -135,11 +145,11 @@ let op_signature op arg_widths =
          value must fit in the low n bits (the old [v >= 1 lsl n] test
          overflowed at n = 62 and rejected every 62-bit constant) *)
       if n <= 62 && v land lnot ((1 lsl n) - 1) <> 0 then
-        failwith "Circuit: Wconst out of range"
+        invalid_netlist "Circuit: Wconst out of range"
       else W n
   | _ ->
       ignore (all_b ());
-      failwith "Circuit: bad operator arity/width"
+      invalid_netlist "Circuit: bad operator arity/width"
 
 let gate b op args =
   let ws = List.map (sig_width b) args in
@@ -168,7 +178,7 @@ let topo_order_arrays drivers =
   let rec visit s =
     match state.(s) with
     | 2 -> ()
-    | 1 -> failwith "Circuit: combinational cycle"
+    | 1 -> invalid_netlist "Circuit: combinational cycle"
     | _ -> (
         state.(s) <- 1;
         (match drivers.(s) with
@@ -190,7 +200,7 @@ let finish b =
         let slot, init, _w = Hashtbl.find b.bregs ridx in
         match !slot with
         | Some data -> { data; init }
-        | None -> failwith "Circuit.finish: unconnected register")
+        | None -> invalid_netlist "Circuit.finish: unconnected register")
   in
   let drivers = Array.of_list (List.rev b.bdrivers) in
   ignore (topo_order_arrays drivers);
@@ -261,18 +271,72 @@ let fanout_map c =
     c.drivers;
   fan
 
+(* Full structural audit.  Beyond the original acyclicity / register /
+   output checks this re-derives every width from the drivers, so a
+   record forged with a lying [widths] array, a dangling operand, an
+   out-of-range input or register index, or a duplicated output name is
+   rejected with [Invalid_netlist] instead of crashing (or silently
+   mis-simulating) deep inside a consumer.  [Embed.embed] runs this
+   before the formal step, which is what lets the fault campaign promise
+   a typed rejection for every corrupted netlist. *)
 let validate c =
-  ignore (topo_order c);
+  let n = n_signals c in
+  if Array.length c.widths <> n then
+    invalid_netlist "Circuit.validate: widths table has %d entries for %d \
+                     signals" (Array.length c.widths) n;
+  (* range checks first: everything after may index freely *)
   Array.iteri
-    (fun _ r ->
+    (fun s d ->
+      match d with
+      | Input i ->
+          if i < 0 || i >= n_inputs c then
+            invalid_netlist "Circuit.validate: signal %d reads input %d \
+                             (circuit has %d inputs)" s i (n_inputs c)
+      | Reg_out r ->
+          if r < 0 || r >= Array.length c.registers then
+            invalid_netlist "Circuit.validate: signal %d reads register %d \
+                             (circuit has %d registers)" s r
+              (Array.length c.registers)
+      | Gate (_, args) ->
+          List.iter
+            (fun a ->
+              if a < 0 || a >= n then
+                invalid_netlist "Circuit.validate: gate %d reads dangling \
+                                 signal %d" s a)
+            args)
+    c.drivers;
+  ignore (topo_order c);
+  (* widths must agree with what the drivers produce *)
+  Array.iteri
+    (fun s d ->
+      let derived =
+        match d with
+        | Input i -> c.input_widths.(i)
+        | Reg_out r -> width_of_value c.registers.(r).init
+        | Gate (op, args) ->
+            op_signature op (List.map (fun a -> c.widths.(a)) args)
+      in
+      if c.widths.(s) <> derived then
+        invalid_netlist "Circuit.validate: signal %d is declared with a \
+                         width its driver does not produce" s)
+    c.drivers;
+  Array.iteri
+    (fun i r ->
+      if r.data < 0 || r.data >= n then
+        invalid_netlist "Circuit.validate: register %d has dangling data \
+                         signal %d" i r.data;
       let wreg = width_of_value r.init in
       if c.widths.(r.data) <> wreg then
-        failwith "Circuit.validate: register data width mismatch")
+        invalid_netlist "Circuit.validate: register data width mismatch")
     c.registers;
+  let out_names = Hashtbl.create 16 in
   Array.iter
-    (fun (_, s) ->
-      if s < 0 || s >= n_signals c then
-        failwith "Circuit.validate: dangling output")
+    (fun (name, s) ->
+      if s < 0 || s >= n then
+        invalid_netlist "Circuit.validate: dangling output";
+      if Hashtbl.mem out_names name then
+        invalid_netlist "Circuit.validate: duplicate output name %S" name;
+      Hashtbl.replace out_names name ())
     c.outputs
 
 let pp_stats ppf c =

@@ -12,6 +12,19 @@
 type signal = int
 (** Signal identifier (index into the circuit's driver table). *)
 
+exception Invalid_netlist of string
+(** Raised for every structural defect of a netlist — bad widths, bad
+    arities, dangling signals, combinational cycles, unconnected or
+    out-of-range registers, duplicated output names.  This is the typed
+    error surface of the whole [netlist] layer: no function here raises a
+    bare [Failure], so callers (in particular the fault-injection
+    campaign) can tell a malformed netlist from an unexpected bug. *)
+
+val invalid_netlist : ('a, unit, string, 'b) format4 -> 'a
+(** [invalid_netlist fmt ...] raises {!Invalid_netlist} with a formatted
+    message.  Exposed for the other modules of this layer and for
+    netlist-shaped validation in consumers. *)
+
 type width = B | W of int
 (** Single bit, or an [n]-bit word with [1 <= n <= 63] (word values live
     in native OCaml ints; wider words are rejected at construction). *)
@@ -75,17 +88,17 @@ val reg : builder -> init:value -> width -> signal
 
 val connect_reg : builder -> signal -> data:signal -> unit
 (** [connect_reg b r ~data] connects the data input of the register whose
-    output signal is [r].  @raise Failure if [r] is not a register
-    output. *)
+    output signal is [r].  @raise Invalid_netlist if [r] is not a
+    register output or is already connected. *)
 
 val gate : builder -> op -> signal list -> signal
-(** Add a gate; checks operand counts and widths.  @raise Failure on
-    arity or width mismatch. *)
+(** Add a gate; checks operand counts and widths.
+    @raise Invalid_netlist on arity or width mismatch. *)
 
 val output : builder -> string -> signal -> unit
 
 val finish : builder -> t
-(** Freeze the builder.  @raise Failure if a register is left
+(** Freeze the builder.  @raise Invalid_netlist if a register is left
     unconnected or the combinational part is cyclic. *)
 
 (** {1 Convenience gate constructors} *)
@@ -119,7 +132,13 @@ val fanout_map : t -> signal list array
     by retiming heuristics. *)
 
 val validate : t -> unit
-(** Re-check structural invariants.  @raise Failure with a diagnostic. *)
+(** Re-check {e all} structural invariants: acyclicity, operand ranges,
+    input/register index ranges, the full width table against what each
+    driver actually produces, register data widths, output ranges and
+    output-name uniqueness.  Tolerates arbitrarily forged records — it
+    performs its range checks before anything indexes, so a corrupt
+    circuit yields a diagnostic, never an [Invalid_argument] crash.
+    @raise Invalid_netlist with a diagnostic. *)
 
 val pp_stats : Format.formatter -> t -> unit
 

@@ -31,16 +31,16 @@ let eval_op op (args : value list) : value =
   | Wor, [ Word (w, a); Word (_, b) ] -> Word (w, a lor b)
   | Wxor, [ Word (w, a); Word (_, b) ] -> Word (w, a lxor b)
   | Wconst (w, v), [] -> Word (w, v)
-  | _ -> failwith "Sim: operator/value mismatch"
+  | _ -> Circuit.invalid_netlist "Sim: operator/value mismatch"
 
 let eval_comb c st inputs =
   if Array.length inputs <> n_inputs c then
-    failwith "Sim: wrong number of inputs";
+    Circuit.invalid_netlist "Sim: wrong number of inputs";
   Array.iteri
     (fun i v ->
       let expected = c.input_widths.(i) in
       let actual = match v with Bit _ -> B | Word (w, _) -> W w in
-      if expected <> actual then failwith "Sim: input width mismatch")
+      if expected <> actual then Circuit.invalid_netlist "Sim: input width mismatch")
     inputs;
   let n = n_signals c in
   let vals = Array.make n (Bit false) in

@@ -10,7 +10,7 @@ val step :
   Circuit.value array * state
 (** [step c st inputs] evaluates one clock cycle: returns the output
     values (in output order) and the next state.
-    @raise Failure on input arity or width mismatch. *)
+    @raise Circuit.Invalid_netlist on input arity or width mismatch. *)
 
 val run :
   Circuit.t -> Circuit.value array list -> Circuit.value array list

@@ -229,6 +229,257 @@ module Json = struct
     output_string oc (to_string j);
     output_char oc '\n';
     close_out oc
+
+  (* Reader for the emitter's own output (the baseline gate in
+     bench/faults reads a checked-in report back).  Same dependency-free
+     spirit as the emitter; numbers without fraction or exponent come
+     back as [Int]. *)
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg =
+      raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos))
+    in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | None -> fail "unterminated escape"
+            | Some c ->
+                advance ();
+                (match c with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '/' -> Buffer.add_char buf '/'
+                | 'n' -> Buffer.add_char buf '\n'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'b' -> Buffer.add_char buf '\b'
+                | 'f' -> Buffer.add_char buf '\012'
+                | 'u' ->
+                    if !pos + 4 > n then fail "truncated \\u escape";
+                    let hex = String.sub s !pos 4 in
+                    pos := !pos + 4;
+                    let code =
+                      try int_of_string ("0x" ^ hex)
+                      with _ -> fail "bad \\u escape"
+                    in
+                    if code < 128 then Buffer.add_char buf (Char.chr code)
+                    else Buffer.add_char buf '?'
+                | _ -> fail "unknown escape");
+                go ())
+        | Some c ->
+            advance ();
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail ("bad number " ^ tok))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (elems [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let of_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    parse s
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fault-campaign counters                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = struct
+  type outcome =
+    | Rejected of string
+    | Wrong_exception of string
+    | Accepted_equivalent
+    | Accepted_inequivalent
+
+  type t = {
+    mutable mutants : int;
+    rejections : (string, int) Hashtbl.t;
+    mutable wrong_exception : int;
+    wrong_classes : (string, int) Hashtbl.t;
+    mutable accepted_equivalent : int;
+    mutable accepted_inequivalent : int;
+  }
+
+  let create () =
+    {
+      mutants = 0;
+      rejections = Hashtbl.create 8;
+      wrong_exception = 0;
+      wrong_classes = Hashtbl.create 8;
+      accepted_equivalent = 0;
+      accepted_inequivalent = 0;
+    }
+
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+  let record t outcome =
+    t.mutants <- t.mutants + 1;
+    match outcome with
+    | Rejected cls -> bump t.rejections cls
+    | Wrong_exception cls ->
+        t.wrong_exception <- t.wrong_exception + 1;
+        bump t.wrong_classes cls
+    | Accepted_equivalent ->
+        t.accepted_equivalent <- t.accepted_equivalent + 1
+    | Accepted_inequivalent ->
+        t.accepted_inequivalent <- t.accepted_inequivalent + 1
+
+  let merge ~into src =
+    into.mutants <- into.mutants + src.mutants;
+    Hashtbl.iter
+      (fun k v ->
+        Hashtbl.replace into.rejections k
+          (v + Option.value ~default:0 (Hashtbl.find_opt into.rejections k)))
+      src.rejections;
+    into.wrong_exception <- into.wrong_exception + src.wrong_exception;
+    Hashtbl.iter
+      (fun k v ->
+        Hashtbl.replace into.wrong_classes k
+          (v
+          + Option.value ~default:0 (Hashtbl.find_opt into.wrong_classes k)))
+      src.wrong_classes;
+    into.accepted_equivalent <-
+      into.accepted_equivalent + src.accepted_equivalent;
+    into.accepted_inequivalent <-
+      into.accepted_inequivalent + src.accepted_inequivalent
+
+  let rejected t =
+    Hashtbl.fold (fun _ v acc -> acc + v) t.rejections 0
+
+  let sorted_tbl tbl =
+    Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) tbl []
+    |> List.sort compare
+
+  let to_json t =
+    Json.Obj
+      [
+        ("mutants", Json.Int t.mutants);
+        ("rejected", Json.Int (rejected t));
+        ("rejections", Json.Obj (sorted_tbl t.rejections));
+        ("wrong_exception", Json.Int t.wrong_exception);
+        ("wrong_exception_classes", Json.Obj (sorted_tbl t.wrong_classes));
+        ("accepted_equivalent", Json.Int t.accepted_equivalent);
+        ("accepted_inequivalent", Json.Int t.accepted_inequivalent);
+      ]
 end
 
 let snapshot_json s =

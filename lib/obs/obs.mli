@@ -97,8 +97,56 @@ module Json : sig
 
   val to_string : t -> string
   val to_file : string -> t -> unit
+
+  exception Parse_error of string
+
+  val parse : string -> t
+  (** Reader for this emitter's own output (used by the fault-campaign
+      baseline gate).  Numbers without fraction/exponent come back as
+      [Int].  @raise Parse_error on malformed input. *)
+
+  val of_file : string -> t
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] on missing fields or non-objects. *)
 end
 
 val snapshot_json : snapshot -> Json.t
 val kernel_snapshot_json : kernel_snapshot -> Json.t
 val engine_run_json : engine_run -> Json.t
+
+(** Outcome counters of the fault-injection campaign (lib/faults updates
+    them, bench/faults serialises them).  Rejections are keyed by typed
+    exception class — the campaign's whole point is that every corrupted
+    input maps to a class, so the counters make the taxonomy reportable
+    and gateable. *)
+module Faults : sig
+  type outcome =
+    | Rejected of string
+        (** clean rejection, by typed exception class name *)
+    | Wrong_exception of string
+        (** rejected, but by a class outside the taxonomy (crash) *)
+    | Accepted_equivalent
+        (** mutant accepted; cross-check proved it still equivalent *)
+    | Accepted_inequivalent  (** soundness bug: accepted and wrong *)
+
+  type t = {
+    mutable mutants : int;
+    rejections : (string, int) Hashtbl.t;
+    mutable wrong_exception : int;
+    wrong_classes : (string, int) Hashtbl.t;
+    mutable accepted_equivalent : int;
+    mutable accepted_inequivalent : int;
+  }
+
+  val create : unit -> t
+  val record : t -> outcome -> unit
+
+  val merge : into:t -> t -> unit
+  (** Fold one counter set into another (per-domain results, per-class
+      subtotals into the campaign total). *)
+
+  val rejected : t -> int
+  (** Total clean rejections across all classes. *)
+
+  val to_json : t -> Json.t
+end

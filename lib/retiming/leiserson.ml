@@ -72,7 +72,7 @@ let period g r =
   List.iter
     (fun (u, v, w) ->
       let w' = w + r.(v) - r.(u) in
-      if w' < 0 then failwith "Leiserson: negative edge weight"
+      if w' < 0 then invalid_netlist "Leiserson: negative edge weight"
       else if w' = 0 then adj0.(u) <- v :: adj0.(u))
     g.edges;
   (* longest path in the DAG of zero-weight edges (host has delay 0) *)
@@ -83,7 +83,7 @@ let period g r =
        input-to-output combinational path must not close a cycle *)
     if v = 0 then 0
     else if depth.(v) >= 0 then depth.(v)
-    else if on_stack.(v) then failwith "Leiserson: zero-weight cycle"
+    else if on_stack.(v) then invalid_netlist "Leiserson: zero-weight cycle"
     else begin
       on_stack.(v) <- true;
       let d =
@@ -167,7 +167,7 @@ let combinational_depth c =
 
 let analyse c =
   let g = build c in
-  if g.nv <= 1 then failwith "Leiserson.analyse: no gates";
+  if g.nv <= 1 then invalid_netlist "Leiserson.analyse: no gates";
   let r0 = Array.make g.nv 0 in
   let before = period g r0 in
   let rec search lo hi best =

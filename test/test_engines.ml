@@ -165,7 +165,7 @@ let prop_engines_agree =
     (fun seed ->
       let c = Random_circ.generate ~seed ~max_gates:14 () in
       match Cut.maximal c with
-      | exception Failure _ -> true
+      | exception Cut.Invalid_cut _ -> true
       | cut ->
           let r = Forward.retime c cut in
           let b = Engines.Common.budget_of_seconds 10.0 in

@@ -36,7 +36,7 @@ let test_embed_shapes () =
 let test_embed_levels () =
   let c = Fig2.rt 4 in
   Alcotest.check_raises "bit-level embedding of a word circuit"
-    (Failure "Embed: word signal in a bit-level embedding") (fun () ->
+    (Circuit.Invalid_netlist "Embed: word signal in a bit-level embedding") (fun () ->
       ignore (Hash.Embed.embed Hash.Embed.Bit_level c));
   let g = Fig2.gate 4 in
   ignore (Hash.Embed.embed Hash.Embed.Bit_level g);
@@ -48,7 +48,7 @@ let test_embed_requires_io () =
   Circuit.output b "o" (Circuit.not_ b x);
   let c = Circuit.finish b in
   Alcotest.check_raises "needs registers"
-    (Failure "Embed: circuit has no registers") (fun () ->
+    (Circuit.Invalid_netlist "Embed: circuit has no registers") (fun () ->
       ignore (Hash.Embed.embed Hash.Embed.Bit_level c))
 
 (* ------------------------------------------------------------------ *)
@@ -173,7 +173,7 @@ let test_compose_mismatch () =
   let s1 = Hash.Synthesis.retime Hash.Embed.Rt_level c1 (Cut.maximal c1) in
   let s2 = Hash.Synthesis.retime Hash.Embed.Rt_level c2 (Cut.maximal c2) in
   Alcotest.check_raises "non-chaining steps"
-    (Failure "Synthesis.compose: steps do not chain") (fun () ->
+    (Hash.Errors.Kernel_invariant "Synthesis.compose: steps do not chain") (fun () ->
       ignore (Hash.Synthesis.compose s1 s2))
 
 (* ------------------------------------------------------------------ *)
@@ -194,7 +194,7 @@ let prop_random_formal_retiming =
     (fun seed ->
       let c = Random_circ.generate ~seed ~max_gates:20 () in
       match Cut.maximal c with
-      | exception Failure _ -> true
+      | exception Cut.Invalid_cut _ -> true
       | cut -> (
           match Hash.Synthesis.retime Hash.Embed.Bit_level c cut with
           | step ->
@@ -209,7 +209,7 @@ let prop_random_formal_retiming_words =
     (fun seed ->
       let c = Random_circ.generate ~words:true ~seed ~max_gates:16 () in
       match Cut.maximal c with
-      | exception Failure _ -> true
+      | exception Cut.Invalid_cut _ -> true
       | cut -> (
           match Hash.Synthesis.retime Hash.Embed.Rt_level c cut with
           | step ->
@@ -226,7 +226,7 @@ let prop_init_eval_agrees =
     (fun seed ->
       let c = Random_circ.generate ~seed ~max_gates:16 () in
       match Cut.maximal c with
-      | exception Failure _ -> true
+      | exception Cut.Invalid_cut _ -> true
       | cut ->
           (* Synthesis.retime cross-checks f(q) against the simulator's
              boundary inits internally and raises Join_mismatch on any
@@ -300,7 +300,7 @@ let test_retime_then_resynth () =
   let c = consty () in
   let step1 = Hash.Resynth.resynthesize Hash.Embed.Bit_level c in
   match Cut.maximal step1.Hash.Synthesis.after with
-  | exception Failure _ -> ()  (* nothing retimable after simplification *)
+  | exception Cut.Invalid_cut _ -> ()  (* nothing retimable after simplification *)
   | cut ->
       let step2 =
         Hash.Synthesis.retime Hash.Embed.Bit_level
@@ -342,7 +342,7 @@ let test_permute_registers () =
 let test_permute_validation () =
   let c = Fig2.gate 3 in
   Alcotest.check_raises "not a permutation"
-    (Failure "Encode.permute_registers: not a permutation") (fun () ->
+    (Cut.Invalid_cut "Encode.permute_registers: not a permutation") (fun () ->
       ignore
         (Hash.Encode.permute_registers Hash.Embed.Bit_level c [| 0; 0; 1 |]))
 

@@ -10,5 +10,6 @@ let () =
       ("engines", Test_engines.suite);
       ("hash", Test_hash.suite);
       ("circuits", Test_circuits.suite);
+      ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
     ]

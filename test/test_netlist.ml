@@ -23,29 +23,29 @@ let test_builder_basic () =
 
 let test_builder_errors () =
   Alcotest.check_raises "width mismatch"
-    (Failure "Circuit: word operator width mismatch") (fun () ->
+    (Invalid_netlist "Circuit: word operator width mismatch") (fun () ->
       let b = create "t" in
       let x = input b (W 4) and y = input b (W 5) in
       ignore (gate b Wadd [ x; y ]));
   Alcotest.check_raises "unconnected register"
-    (Failure "Circuit.finish: unconnected register") (fun () ->
+    (Invalid_netlist "Circuit.finish: unconnected register") (fun () ->
       let b = create "t" in
       let _ = input b B in
       let _ = reg b ~init:(Bit false) B in
       ignore (finish b));
   Alcotest.check_raises "init width"
-    (Failure "Circuit.reg: init width mismatch") (fun () ->
+    (Invalid_netlist "Circuit.reg: init width mismatch") (fun () ->
       let b = create "t" in
       ignore (reg b ~init:(Bit false) (W 3)));
   Alcotest.check_raises "bad arity"
-    (Failure "Circuit: bad operator arity/width") (fun () ->
+    (Invalid_netlist "Circuit: bad operator arity/width") (fun () ->
       let b = create "t" in
       let x = input b B in
       ignore (gate b And [ x ]))
 
 let test_cycle_detection () =
   (* a combinational cycle through two gates *)
-  Alcotest.check_raises "cycle" (Failure "Circuit: combinational cycle")
+  Alcotest.check_raises "cycle" (Invalid_netlist "Circuit: combinational cycle")
     (fun () ->
       let b = create "t" in
       let x = input b B in
@@ -211,23 +211,23 @@ let test_wide_random_inputs () =
 
 let test_width_rejection () =
   Alcotest.check_raises "wide input rejected"
-    (Failure "Circuit: unsupported word width (must be 1..63)") (fun () ->
+    (Invalid_netlist "Circuit: unsupported word width (must be 1..63)") (fun () ->
       ignore (input (create "t") (W 64)));
   Alcotest.check_raises "zero-width input rejected"
-    (Failure "Circuit: unsupported word width (must be 1..63)") (fun () ->
+    (Invalid_netlist "Circuit: unsupported word width (must be 1..63)") (fun () ->
       ignore (input (create "t") (W 0)));
   Alcotest.check_raises "wide register rejected"
-    (Failure "Circuit: unsupported word width (must be 1..63)") (fun () ->
+    (Invalid_netlist "Circuit: unsupported word width (must be 1..63)") (fun () ->
       ignore (reg (create "t") ~init:(Word (64, 0)) (W 64)));
   Alcotest.check_raises "wide constant rejected"
-    (Failure "Circuit: unsupported word width (must be 1..63)") (fun () ->
+    (Invalid_netlist "Circuit: unsupported word width (must be 1..63)") (fun () ->
       ignore (gate (create "t") (Wconst (64, 0)) []));
   (* regression: the old range check rejected every 62-bit constant *)
   let b = create "t" in
   ignore (gate b (Wconst (62, max_int)) []);
   ignore (gate b (Wconst (63, -1)) []);
   Alcotest.check_raises "out-of-range constant rejected"
-    (Failure "Circuit: Wconst out of range") (fun () ->
+    (Invalid_netlist "Circuit: Wconst out of range") (fun () ->
       ignore (gate (create "t") (Wconst (4, 16)) []))
 
 (* ------------------------------------------------------------------ *)
@@ -358,9 +358,97 @@ let test_blif_export () =
   in
   check "one names block per gate node" true (count ".names" >= gate_nodes);
   Alcotest.check_raises "word circuit rejected"
-    (Failure "Blif: word input (bit-blast first)") (fun () ->
+    (Invalid_netlist "Blif: word input (bit-blast first)") (fun () ->
       ignore (Blif.to_string (Fig2.rt 3)))
 
 let suite = suite @ [
     Alcotest.test_case "blif export" `Quick test_blif_export;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* BLIF round-trip with hostile output names                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Output names deliberately collide with the emitter's internal
+   [pi%d]/[n%d]/[lq%d] nets, with each other after sanitisation, and
+   contain characters BLIF cannot carry.  The pre-fix emitter aliased
+   distinct nets onto one name here; the parser's duplicate-definition
+   check would reject its own output. *)
+let hostile_circuit () =
+  let b = create "my model!" in
+  let x = input b B in
+  let y = input b B in
+  let q = reg b ~init:(Bit false) B in
+  let g1 = and_ b x y in
+  let g2 = xor_ b g1 q in
+  connect_reg b q ~data:g2;
+  output b "pi0" g1;
+  output b "n1" g2;
+  output b "lq0" q;
+  output b "bad name" (or_ b x q);
+  output b "bad\tname" (not_ b y);
+  output b "" x;
+  finish b
+
+let test_blif_roundtrip_hostile () =
+  let c = hostile_circuit () in
+  let s = Blif.to_string c in
+  let c' = Blif.of_string s in
+  Alcotest.(check int) "same inputs" (n_inputs c) (n_inputs c');
+  Alcotest.(check int) "same outputs"
+    (Array.length c.outputs) (Array.length c'.outputs);
+  Alcotest.(check int) "same flip-flops"
+    (flipflop_count c) (flipflop_count c');
+  (* lockstep co-simulation: the parsed circuit must behave identically *)
+  let rng = Random.State.make [| 0xb11f |] in
+  let st = ref (Sim.initial_state c) and st' = ref (Sim.initial_state c') in
+  for _ = 1 to 64 do
+    let inputs = Sim.random_inputs rng c in
+    let o, n = Sim.step c !st inputs in
+    let o', n' = Sim.step c' !st' inputs in
+    check "round-trip outputs agree" true
+      (Array.for_all2 Sim.value_equal o o');
+    st := n;
+    st' := n'
+  done;
+  (* the emitted text must never define one net twice (the aliasing bug) *)
+  let lines = String.split_on_char '\n' s in
+  let defined = Hashtbl.create 16 in
+  List.iter
+    (fun ln ->
+      let words =
+        String.split_on_char ' ' ln |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | ".names" :: args when args <> [] ->
+          let target = List.nth args (List.length args - 1) in
+          check ("unique definition of " ^ target) false
+            (Hashtbl.mem defined target);
+          Hashtbl.replace defined target ()
+      | [ ".latch"; _; q ] | [ ".latch"; _; q; _; _ ] ->
+          check ("unique definition of " ^ q) false (Hashtbl.mem defined q);
+          Hashtbl.replace defined q ()
+      | _ -> ())
+    lines
+
+let test_blif_roundtrip_fig2 () =
+  let c = Fig2.gate 5 in
+  let c' = Blif.of_string (Blif.to_string c) in
+  let rng = Random.State.make [| 0xf162 |] in
+  let st = ref (Sim.initial_state c) and st' = ref (Sim.initial_state c') in
+  for _ = 1 to 64 do
+    let inputs = Sim.random_inputs rng c in
+    let o, n = Sim.step c !st inputs in
+    let o', n' = Sim.step c' !st' inputs in
+    check "fig2 round-trip outputs agree" true
+      (Array.for_all2 Sim.value_equal o o');
+    st := n;
+    st' := n'
+  done
+
+let suite = suite @ [
+    Alcotest.test_case "blif round-trip (hostile names)" `Quick
+      test_blif_roundtrip_hostile;
+    Alcotest.test_case "blif round-trip (fig2)" `Quick
+      test_blif_roundtrip_fig2;
   ]

@@ -42,7 +42,7 @@ let test_false_cut_rejected () =
     (try
        ignore (Cut.of_gates c gates);
        false
-     with Failure _ -> true)
+     with Cut.Invalid_cut _ -> true)
 
 let prop_maximal_cut_valid =
   QCheck.Test.make ~count:60 ~name:"maximal cut is valid"
@@ -51,7 +51,7 @@ let prop_maximal_cut_valid =
       let c = Random_circ.generate ~seed ~max_gates:30 () in
       match Cut.maximal c with
       | cut -> cut_is_valid c cut && cut.Cut.f_gates <> []
-      | exception Failure _ -> true)
+      | exception Cut.Invalid_cut _ -> true)
 
 let test_prefixes () =
   let c = Fig2.gate 8 in
@@ -100,7 +100,7 @@ let prop_retime_preserves =
     (fun seed ->
       let c = Random_circ.generate ~seed ~max_gates:30 () in
       match Cut.maximal c with
-      | exception Failure _ -> true
+      | exception Cut.Invalid_cut _ -> true
       | cut ->
           let r = Forward.retime c cut in
           validate r;
@@ -112,7 +112,7 @@ let prop_retime_words =
     (fun seed ->
       let c = Random_circ.generate ~words:true ~seed ~max_gates:25 () in
       match Cut.maximal c with
-      | exception Failure _ -> true
+      | exception Cut.Invalid_cut _ -> true
       | cut ->
           let r = Forward.retime c cut in
           cosim c r 32 (seed + 17))
@@ -147,7 +147,7 @@ let prop_leiserson =
       | a ->
           a.Leiserson.period_after >= 1
           && a.Leiserson.period_after <= a.Leiserson.period_before
-      | exception Failure _ -> true)
+      | exception Circuit.Invalid_netlist _ -> true)
 
 let suite =
   [
