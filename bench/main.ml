@@ -21,21 +21,28 @@
    [Domain.recommended_domain_count ()]; 1 = run every cell inline in
    submission order, i.e. the exact sequential behaviour). *)
 
+(* Unreadable values fall back to the default rather than killing the
+   bench ([BENCH_JOBS=two] used to die with an uncaught [Failure]); the
+   JSON header echoes the resolved values. *)
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> (
+      match float_of_string_opt v with Some f -> f | None -> default)
+  | None -> default
+
 let deadline =
-  try float_of_string (Sys.getenv "BENCH_DEADLINE") with Not_found -> 5.0
+  let raw = env_float "BENCH_DEADLINE" 5.0 in
+  if raw > 0.0 then raw else 5.0
 
 (* Clamped to the word simulator's packing limit; the JSON header reports
    the clamped value, so downstream tooling never sees an unusable n. *)
-let max_n =
-  let raw = try int_of_string (Sys.getenv "BENCH_MAX_N") with Not_found -> 63 in
-  min 63 (max 1 raw)
-
-let jobs =
-  let raw =
-    try int_of_string (Sys.getenv "BENCH_JOBS")
-    with Not_found -> Domain.recommended_domain_count ()
-  in
-  max 1 raw
+let max_n = min 63 (max 1 (env_int "BENCH_MAX_N" 63))
+let jobs = max 1 (env_int "BENCH_JOBS" (Domain.recommended_domain_count ()))
 
 let time f =
   let t0 = Unix.gettimeofday () in

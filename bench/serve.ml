@@ -1,0 +1,309 @@
+(* Synthetic traffic against the retiming daemon (in process, through
+   [Serve.handle_line] — includes protocol parsing and cache/pool
+   dispatch, excludes socket IO).
+
+   Three mixes:
+   - duplicate_heavy:  N requests cycling over K distinct circuits;
+   - renamed_variant:  N requests, every one textually unique (internal
+     nets and model renamed) but isomorphic to one of the K bases, so
+     only the structural fingerprint can deduplicate them;
+   - adversarial_malformed: broken JSON, missing/ill-typed fields,
+     broken BLIF, false cuts, expired deadlines — all must come back as
+     structured errors, never crash the server.
+
+   For the first two mixes the "cold" phase sends each distinct base
+   once against an empty cache (every request runs the kernel) and the
+   "warm" phase sends the full mix (every request should be answered
+   from the cache).  BENCH_serve.json records req/s and p50/p99 latency
+   per phase plus compare.exe-compatible rows, and the run fails unless
+   warm-cache throughput on the duplicate-heavy mix is >= 10x cold.
+
+   Environment: BENCH_JOBS (default 1), SERVE_REQUESTS (per mix,
+   default 160), SERVE_CACHE (default 64). *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+  | None -> default
+
+let jobs = max 1 (env_int "BENCH_JOBS" 1)
+let n_requests = max 8 (env_int "SERVE_REQUESTS" 160)
+let cache_capacity = max 1 (env_int "SERVE_CACHE" 64)
+
+(* ------------------------------------------------------------------ *)
+(* Traffic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let base_widths = [ 4; 6; 8; 12; 16; 24; 32; 48 ]
+
+let bases =
+  List.map (fun n -> Blif.to_string (Fig2.gate n)) base_widths
+
+let n_bases = List.length bases
+let base i = List.nth bases (i mod n_bases)
+
+(* Whole-token rename of the emitter's internal-net namespace
+   ([pi%d]/[lq%d]/[n%d]) plus the model name: textually fresh, same
+   structure. *)
+let rename_internal suffix blif =
+  let with_digits p tok =
+    let lp = String.length p and lt = String.length tok in
+    lt > lp
+    && String.sub tok 0 lp = p
+    && String.for_all (function '0' .. '9' -> true | _ -> false)
+         (String.sub tok lp (lt - lp))
+  in
+  let rename_tok prev tok =
+    if prev = ".model" then "m" ^ suffix
+    else if with_digits "pi" tok || with_digits "lq" tok || with_digits "n" tok
+    then "w" ^ suffix ^ "_" ^ tok
+    else tok
+  in
+  let buf = Buffer.create (String.length blif + 64) in
+  let n = String.length blif in
+  let i = ref 0 in
+  let prev = ref "" in
+  let is_ws c = c = ' ' || c = '\n' || c = '\t' || c = '\r' in
+  while !i < n do
+    if is_ws blif.[!i] then begin
+      Buffer.add_char buf blif.[!i];
+      incr i
+    end
+    else begin
+      let j = ref !i in
+      while !j < n && not (is_ws blif.[!j]) do
+        incr j
+      done;
+      let tok = String.sub blif !i (!j - !i) in
+      Buffer.add_string buf (rename_tok !prev tok);
+      prev := tok;
+      i := !j
+    end
+  done;
+  Buffer.contents buf
+
+let request ?(extra = []) id blif =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       ([ ("id", Obs.Json.Int id); ("blif", Obs.Json.Str blif) ] @ extra))
+
+let duplicate_requests n = List.init n (fun i -> request i (base i))
+
+let renamed_requests n =
+  List.init n (fun i ->
+      request i (rename_internal (string_of_int i) (base i)))
+
+let malformed_requests n =
+  List.init n (fun i ->
+      match i mod 6 with
+      | 0 -> "{\"id\":" ^ string_of_int i ^ ",\"blif\":\"not blif at all\"}"
+      | 1 -> "this is not json {"
+      | 2 -> request i (base i) ^ "trailing garbage"
+      | 3 -> "{\"id\":" ^ string_of_int i ^ "}"
+      | 4 ->
+          (* a false cut: explicit gate list naming out-of-range signals *)
+          request ~extra:[ ("cut", Obs.Json.List [ Obs.Json.Int 99999 ]) ] i
+            (base i)
+      | _ ->
+          request
+            ~extra:[ ("deadline_s", Obs.Json.Str "soon") ]
+            i (base i))
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type phase = {
+  requests : int;
+  wall_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  oks : int;
+  errors : int;
+  by_code : (string * int) list;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let run_phase server lines =
+  (* settle the heap so one phase's garbage (kernel terms from cache
+     misses) is not billed to the next phase's latencies *)
+  Gc.full_major ();
+  let lats = ref [] in
+  let oks = ref 0 in
+  let errors = ref 0 in
+  let codes = Hashtbl.create 8 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun line ->
+      let r0 = Unix.gettimeofday () in
+      let resp = Serve.handle_line server line in
+      lats := (Unix.gettimeofday () -. r0) :: !lats;
+      match Obs.Json.parse resp with
+      | exception Obs.Json.Parse_error msg ->
+          Printf.eprintf "unparseable response (%s): %s\n" msg resp;
+          exit 2
+      | j -> (
+          match Obs.Json.member "status" j with
+          | Some (Obs.Json.Str "ok") -> incr oks
+          | Some (Obs.Json.Str "error") ->
+              incr errors;
+              let code =
+                match
+                  Option.bind (Obs.Json.member "error" j)
+                    (Obs.Json.member "code")
+                with
+                | Some (Obs.Json.Str c) -> c
+                | _ -> "?"
+              in
+              Hashtbl.replace codes code
+                (1 + Option.value ~default:0 (Hashtbl.find_opt codes code))
+          | _ ->
+              Printf.eprintf "response without status: %s\n" resp;
+              exit 2))
+    lines;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sorted = Array.of_list !lats in
+  Array.sort compare sorted;
+  {
+    requests = List.length lines;
+    wall_s;
+    p50_ms = 1000.0 *. percentile sorted 0.50;
+    p99_ms = 1000.0 *. percentile sorted 0.99;
+    oks = !oks;
+    errors = !errors;
+    by_code =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) codes [] |> List.sort compare;
+  }
+
+let req_per_s ph =
+  if ph.wall_s > 0.0 then float_of_int ph.requests /. ph.wall_s else 0.0
+
+let phase_json ph =
+  Obs.Json.Obj
+    ([
+       ("requests", Obs.Json.Int ph.requests);
+       ("wall_s", Obs.Json.Float ph.wall_s);
+       ("req_per_s", Obs.Json.Float (req_per_s ph));
+       ("p50_ms", Obs.Json.Float ph.p50_ms);
+       ("p99_ms", Obs.Json.Float ph.p99_ms);
+       ("ok", Obs.Json.Int ph.oks);
+       ("errors", Obs.Json.Int ph.errors);
+     ]
+    @
+    if ph.by_code = [] then []
+    else
+      [
+        ( "by_code",
+          Obs.Json.Obj
+            (List.map (fun (k, v) -> (k, Obs.Json.Int v)) ph.by_code) );
+      ])
+
+let print_phase name ph =
+  Printf.printf "  %-6s %5d req  %8.1f req/s  p50 %8.3f ms  p99 %8.3f ms  (%d ok, %d err)\n%!"
+    name ph.requests (req_per_s ph) ph.p50_ms ph.p99_ms ph.oks ph.errors
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "serve bench: %d distinct circuits, %d requests/mix, cache %d, %d jobs\n%!"
+    n_bases n_requests cache_capacity jobs;
+  let failures = ref [] in
+  let bench_rows = ref [] in
+  let row name ms = bench_rows := (name, ms *. 1e6) :: !bench_rows in
+  let mix_json = ref [] in
+
+  (* --- duplicate-heavy and renamed-variant: cold then warm ---------- *)
+  let cached_mix name traffic =
+    Printf.printf "%s:\n%!" name;
+    let server =
+      Serve.create ~jobs ~cache_capacity ~default_deadline_s:60.0 ()
+    in
+    let cold = run_phase server (List.init n_bases (fun i -> request i (base i))) in
+    print_phase "cold" cold;
+    let warm = run_phase server (traffic n_requests) in
+    print_phase "warm" warm;
+    Serve.shutdown server;
+    let speedup =
+      if req_per_s cold > 0.0 then req_per_s warm /. req_per_s cold else 0.0
+    in
+    Printf.printf "  warm/cold throughput: %.1fx\n%!" speedup;
+    if cold.errors > 0 || warm.errors > 0 then
+      failures := Printf.sprintf "%s: unexpected errors" name :: !failures;
+    mix_json :=
+      ( name,
+        Obs.Json.Obj
+          [
+            ("cold", phase_json cold);
+            ("warm", phase_json warm);
+            ("warm_speedup", Obs.Json.Float speedup);
+          ] )
+      :: !mix_json;
+    (cold, warm, speedup)
+  in
+  let dup_cold, dup_warm, dup_speedup =
+    cached_mix "duplicate_heavy" duplicate_requests
+  in
+  let _, ren_warm, _ = cached_mix "renamed_variant" renamed_requests in
+
+  (* --- adversarial-malformed ---------------------------------------- *)
+  Printf.printf "adversarial_malformed:\n%!";
+  let server = Serve.create ~jobs ~cache_capacity ~default_deadline_s:60.0 () in
+  let mal = run_phase server (malformed_requests n_requests) in
+  print_phase "reject" mal;
+  Serve.shutdown server;
+  if mal.oks > 0 then
+    failures := "adversarial_malformed: a broken request was accepted" :: !failures;
+  mix_json :=
+    ("adversarial_malformed", Obs.Json.Obj [ ("reject", phase_json mal) ])
+    :: !mix_json;
+
+  (* --- compare.exe-compatible rows (latencies in ns, lower=better) -- *)
+  row "serve/dup-cold-p50" dup_cold.p50_ms;
+  row "serve/dup-warm-p50" dup_warm.p50_ms;
+  row "serve/dup-warm-p99" dup_warm.p99_ms;
+  row "serve/renamed-warm-p50" ren_warm.p50_ms;
+  row "serve/malformed-p50" mal.p50_ms;
+
+  let json =
+    Obs.Json.Obj
+      [
+        ("table", Obs.Json.Str "serve");
+        ("schema", Obs.Json.Int 1);
+        ("jobs", Obs.Json.Int jobs);
+        ("requests_per_mix", Obs.Json.Int n_requests);
+        ("distinct_circuits", Obs.Json.Int n_bases);
+        ("cache_capacity", Obs.Json.Int cache_capacity);
+        ("mixes", Obs.Json.Obj (List.rev !mix_json));
+        ( "benchmarks",
+          Obs.Json.List
+            (List.rev_map
+               (fun (name, ns) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.Str name);
+                     ("ns_per_run", Obs.Json.Float ns);
+                   ])
+               !bench_rows) );
+      ]
+  in
+  Obs.Json.to_file "BENCH_serve.json" json;
+  Printf.printf "wrote BENCH_serve.json\n%!";
+
+  (* --- the acceptance gate ------------------------------------------ *)
+  if dup_speedup < 10.0 then
+    failures :=
+      Printf.sprintf
+        "duplicate_heavy warm/cold throughput %.1fx < 10x" dup_speedup
+      :: !failures;
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (Printf.eprintf "FAIL: %s\n") fs;
+      exit 1

@@ -1,0 +1,57 @@
+(* Retiming daemon front end.
+
+     dune exec bin/serve.exe                      -- serve stdio
+     dune exec bin/serve.exe -- --socket /tmp/hr.sock
+     dune exec bin/serve.exe -- --jobs 4 --cache 256 --deadline 10
+
+   Protocol: one JSON request per line, one JSON response per line (see
+   the serve-protocol section of README.md). *)
+
+open Cmdliner
+
+let run socket jobs cache deadline =
+  let jobs = max 1 jobs in
+  let cache = max 1 cache in
+  let deadline = if deadline > 0.0 then deadline else 30.0 in
+  let t =
+    Serve.create ~jobs ~cache_capacity:cache ~default_deadline_s:deadline ()
+  in
+  (match socket with
+  | Some path ->
+      Printf.eprintf "serving on %s (%d jobs, cache %d)\n%!" path jobs cache;
+      Serve.run_socket t ~path
+  | None -> Serve.run_stdio t);
+  Serve.shutdown t;
+  0
+
+let cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve on a Unix-domain socket instead of stdio.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (1 = run requests inline).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"N" ~doc:"Proof-cache capacity (LRU entries).")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 30.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Default per-request deadline.")
+  in
+  let doc = "proof-caching retiming daemon (newline-delimited JSON)" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ socket $ jobs $ cache $ deadline)
+
+let () = exit (Cmd.eval' cmd)

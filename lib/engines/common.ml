@@ -12,6 +12,13 @@ let budget_of_seconds ?(max_bdd_nodes = 20_000_000) secs =
 let out_of_time b = Unix.gettimeofday () > b.deadline
 
 exception Out_of_budget
+exception Unsupported of string
+exception Interface_mismatch of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let interface_mismatch fmt =
+  Printf.ksprintf (fun s -> raise (Interface_mismatch s)) fmt
 
 let check b = if out_of_time b then raise Out_of_budget
 

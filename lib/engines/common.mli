@@ -57,6 +57,23 @@ val report_to_run : report -> Obs.engine_run
 
 exception Out_of_budget
 
+exception Unsupported of string
+(** The engine cannot represent the circuit as given — e.g. a word-level
+    signal reached a bit-level-only engine (bit-blast first).  Typed so
+    callers (the serve protocol in particular) can map it to a structured
+    error instead of pattern-matching [Failure] strings. *)
+
+exception Interface_mismatch of string
+(** The two circuits handed to an equivalence engine do not share an
+    interface (input/output counts differ). *)
+
+val unsupported : ('a, unit, string, 'b) format4 -> 'a
+(** [unsupported fmt ...] raises {!Unsupported} with a formatted
+    message. *)
+
+val interface_mismatch : ('a, unit, string, 'b) format4 -> 'a
+(** [interface_mismatch fmt ...] raises {!Interface_mismatch}. *)
+
 val check : budget -> unit
 (** @raise Out_of_budget when the deadline has passed. *)
 

@@ -19,14 +19,14 @@ let signatures rng cycles ca cb =
       Array.map
         (function
           | B -> Bit (Random.State.bool rng)
-          | W _ -> failwith "Eijk: word input (bit-blast first)")
+          | W _ -> Common.unsupported "Eijk: word input (bit-blast first)")
         ca.input_widths
     in
     let va = Sim.eval_comb ca !sta inputs in
     let vb = Sim.eval_comb cb !stb inputs in
     let bit = function
       | Bit b -> if b then '1' else '0'
-      | Word _ -> failwith "Eijk: word signal"
+      | Word _ -> Common.unsupported "Eijk: word signal"
     in
     Array.iteri (fun s v -> Buffer.add_char sigs.(s) (bit v)) va;
     Array.iteri (fun s v -> Buffer.add_char sigs.(na + s) (bit v)) vb;
@@ -41,7 +41,8 @@ let complement_string s =
 (* The correspondence computation over a caller-supplied manager (so the
    caller can snapshot kernel counters).  Raises [Common.Out_of_budget]. *)
 let equiv_m ~debug ~exploit_dependencies ~sim_cycles m budget ca cb =
-  if not (Common.same_interface ca cb) then failwith "Eijk: interface mismatch";
+  if not (Common.same_interface ca cb) then
+    Common.interface_mismatch "Eijk: interface mismatch";
   let p = Symbolic.product ~check:(fun () -> Common.check_nodes budget m) m ca cb in
     let k = p.Symbolic.n_regs in
     let ka = Array.length ca.registers in

@@ -24,7 +24,7 @@ let of_circuit c =
             let init =
               match reg.init with
               | Bit b -> b
-              | Word _ -> failwith "Retime_match: word register"
+              | Word _ -> Common.unsupported "Retime_match: word register"
             in
             Nreg (init, reg.data))
       c.drivers
@@ -43,7 +43,7 @@ let eval_const op args =
   | Xnor, [ a; b ] -> a = b
   | Mux, [ s; a; b ] -> if s then a else b
   | Constb v, [] -> v
-  | _ -> failwith "Retime_match: bad constant gate"
+  | _ -> Common.unsupported "Retime_match: bad constant gate"
 
 (* Maximal forward retiming normal form: whenever every operand of a gate
    is registered or constant, pull the registers through the gate
@@ -122,7 +122,7 @@ let match_graphs ga gb =
 
 let equiv budget ca cb =
   if not (Common.same_interface ca cb) then
-    failwith "Retime_match: interface mismatch";
+    Common.interface_mismatch "Retime_match: interface mismatch";
   try
     Common.check budget;
     let ga = of_circuit ca and gb = of_circuit cb in

@@ -51,7 +51,7 @@ let eval_gates cc =
             | Constb v -> v
             | Winc | Wadd | Weq | Wmux | Wnot | Wand | Wor | Wxor
             | Wconst _ ->
-                failwith "Sis_fsm: word operator (bit-blast first)")
+                Common.unsupported "Sis_fsm: word operator (bit-blast first)")
       | Input _ | Reg_out _ -> ())
     cc.order
 
@@ -74,12 +74,12 @@ let init_bits c =
     (fun r ->
       match r.init with
       | Bit b -> b
-      | Word _ -> failwith "Sis_fsm: word register (bit-blast first)")
+      | Word _ -> Common.unsupported "Sis_fsm: word register (bit-blast first)")
     c.registers
 
 let equiv_stats budget ca cb =
   if not (Common.same_interface ca cb) then
-    failwith "Sis_fsm: interface mismatch";
+    Common.interface_mismatch "Sis_fsm: interface mismatch";
   let cca = compile ca and ccb = compile cb in
   let ni = Array.length cca.input_sigs in
   if ni > 24 then Common.(Inconclusive "too many inputs to enumerate", 0)

@@ -46,7 +46,8 @@ let compile_signals ?(check = fun () -> ()) m c ~inputs ~regs =
             | Constb false -> Bdd.zero m
             | Winc | Wadd | Weq | Wmux | Wnot | Wand | Wor | Wxor
             | Wconst _ ->
-                failwith "Symbolic.compile_signals: word operator (bit-blast first)"
+                Common.unsupported
+                  "Symbolic.compile_signals: word operator (bit-blast first)"
           in
           vals.(s) <- v)
     (topo_order c);
@@ -55,19 +56,21 @@ let compile_signals ?(check = fun () -> ()) m c ~inputs ~regs =
 let reg_init (r : Circuit.register) =
   match r.init with
   | Bit b -> b
-  | Word _ -> failwith "Symbolic: word register (bit-blast first)"
+  | Word _ -> Common.unsupported "Symbolic: word register (bit-blast first)"
 
 let bit_input_count c =
   Array.iter
-    (function B -> () | W _ -> failwith "Symbolic: word input (bit-blast first)")
+    (function
+      | B -> ()
+      | W _ -> Common.unsupported "Symbolic: word input (bit-blast first)")
     c.input_widths;
   Array.length c.input_widths
 
 let product ?(check = fun () -> ()) m ca cb =
   let ia = bit_input_count ca and ib = bit_input_count cb in
-  if ia <> ib then failwith "Symbolic.product: input counts differ";
+  if ia <> ib then Common.interface_mismatch "Symbolic.product: input counts differ";
   if Array.length ca.outputs <> Array.length cb.outputs then
-    failwith "Symbolic.product: output counts differ";
+    Common.interface_mismatch "Symbolic.product: output counts differ";
   let ka = Array.length ca.registers and kb = Array.length cb.registers in
   let k = ka + kb in
   (* Variable order: interleaved current/next state bits first, then the

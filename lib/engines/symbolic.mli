@@ -26,9 +26,9 @@ val compile_signals :
   Bdd.t array
 (** BDD of every signal, given BDDs for the primary inputs and register
     outputs.  [check] is called before each gate (budget enforcement).
-    @raise Failure on word signals. *)
+    @raise Common.Unsupported on word signals. *)
 
 val product :
   ?check:(unit -> unit) -> Bdd.manager -> Circuit.t -> Circuit.t -> product
 (** Build the product machine of two interface-compatible circuits.
-    @raise Failure if the interfaces differ. *)
+    @raise Common.Interface_mismatch if the interfaces differ. *)

@@ -194,7 +194,12 @@ module Json = struct
     | Float f ->
         if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity
         then Buffer.add_string buf "null"
-        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+        else
+          (* shortest decimal that reads back exactly: try 15
+             significant digits, fall back to 17 (always exact) *)
+          let s = Printf.sprintf "%.15g" f in
+          let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+          Buffer.add_string buf s
     | Str s ->
         Buffer.add_char buf '"';
         escape buf s;
@@ -267,6 +272,22 @@ module Json = struct
     let parse_string () =
       expect '"';
       let buf = Buffer.create 16 in
+      let hex_digit c =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      let read_hex4 () =
+        if !pos + 4 > n then fail "truncated \\u escape";
+        let v = ref 0 in
+        for _ = 1 to 4 do
+          v := (!v lsl 4) lor hex_digit s.[!pos];
+          incr pos
+        done;
+        !v
+      in
       let rec go () =
         match peek () with
         | None -> fail "unterminated string"
@@ -287,15 +308,28 @@ module Json = struct
                 | 'b' -> Buffer.add_char buf '\b'
                 | 'f' -> Buffer.add_char buf '\012'
                 | 'u' ->
-                    if !pos + 4 > n then fail "truncated \\u escape";
-                    let hex = String.sub s !pos 4 in
-                    pos := !pos + 4;
-                    let code =
-                      try int_of_string ("0x" ^ hex)
-                      with _ -> fail "bad \\u escape"
-                    in
-                    if code < 128 then Buffer.add_char buf (Char.chr code)
-                    else Buffer.add_char buf '?'
+                    (* Decode to UTF-8, pairing surrogates, so that
+                       write -> parse is lossless for any scalar value. *)
+                    let code = read_hex4 () in
+                    if code >= 0xd800 && code <= 0xdbff then begin
+                      if
+                        not
+                          (!pos + 2 <= n
+                          && s.[!pos] = '\\'
+                          && s.[!pos + 1] = 'u')
+                      then fail "unpaired high surrogate";
+                      pos := !pos + 2;
+                      let lo = read_hex4 () in
+                      if lo < 0xdc00 || lo > 0xdfff then
+                        fail "unpaired high surrogate";
+                      let u =
+                        0x10000 + ((code - 0xd800) lsl 10) + (lo - 0xdc00)
+                      in
+                      Buffer.add_utf_8_uchar buf (Uchar.of_int u)
+                    end
+                    else if code >= 0xdc00 && code <= 0xdfff then
+                      fail "unpaired low surrogate"
+                    else Buffer.add_utf_8_uchar buf (Uchar.of_int code)
                 | _ -> fail "unknown escape");
                 go ())
         | Some c ->
@@ -479,6 +513,37 @@ module Faults = struct
         ("wrong_exception_classes", Json.Obj (sorted_tbl t.wrong_classes));
         ("accepted_equivalent", Json.Int t.accepted_equivalent);
         ("accepted_inequivalent", Json.Int t.accepted_inequivalent);
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Proof-cache counters                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type t = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    mutable insertions : int;
+  }
+
+  let create () = { hits = 0; misses = 0; evictions = 0; insertions = 0 }
+
+  let reset t =
+    t.hits <- 0;
+    t.misses <- 0;
+    t.evictions <- 0;
+    t.insertions <- 0
+
+  let to_json ?(entries = 0) t =
+    Json.Obj
+      [
+        ("hits", Json.Int t.hits);
+        ("misses", Json.Int t.misses);
+        ("evictions", Json.Int t.evictions);
+        ("insertions", Json.Int t.insertions);
+        ("entries", Json.Int entries);
       ]
 end
 

@@ -84,7 +84,8 @@ type engine_run = {
 }
 
 (** Minimal JSON tree and compact emitter (strings are escaped; NaN and
-    infinities serialise as [null]). *)
+    infinities serialise as [null]; finite floats print with enough
+    digits to read back exactly). *)
 module Json : sig
   type t =
     | Null
@@ -102,12 +103,34 @@ module Json : sig
 
   val parse : string -> t
   (** Reader for this emitter's own output (used by the fault-campaign
-      baseline gate).  Numbers without fraction/exponent come back as
-      [Int].  @raise Parse_error on malformed input. *)
+      baseline gate and the serve protocol).  Numbers without
+      fraction/exponent come back as [Int].  [\uXXXX] escapes are decoded
+      to UTF-8, pairing surrogates, so write → parse round-trips
+      losslessly; unpaired surrogates and malformed hex are rejected.
+      @raise Parse_error on malformed input. *)
 
   val of_file : string -> t
   val member : string -> t -> t option
   (** Field lookup on [Obj]; [None] on missing fields or non-objects. *)
+end
+
+(** Hit/miss/eviction counters of the retiming server's fingerprint-keyed
+    proof cache (lib/serve updates them; responses and BENCH_serve rows
+    carry them). *)
+module Cache : sig
+  type t = {
+    mutable hits : int;  (** requests answered from the cache *)
+    mutable misses : int;  (** requests that ran the kernel *)
+    mutable evictions : int;  (** LRU entries dropped at capacity *)
+    mutable insertions : int;  (** entries stored after a miss *)
+  }
+
+  val create : unit -> t
+  val reset : t -> unit
+
+  val to_json : ?entries:int -> t -> Json.t
+  (** [entries] is the current cache population (the counters alone
+      cannot tell it once eviction starts). *)
 end
 
 val snapshot_json : snapshot -> Json.t

@@ -23,6 +23,7 @@
    physical equality intact (see that module for the discipline). *)
 
 exception Cancelled
+exception Shutdown
 
 type 'a status =
   | Pending of (unit -> 'a)
@@ -163,12 +164,19 @@ let submit ?deadline pool thunk =
       deadline;
     }
   in
-  if pool.size <= 1 then run_job fut
+  if pool.size <= 1 then begin
+    (* inline pool: same contract as the queued path *)
+    Mutex.lock pool.q_mu;
+    let closed = pool.closed in
+    Mutex.unlock pool.q_mu;
+    if closed then raise Shutdown;
+    run_job fut
+  end
   else begin
     Mutex.lock pool.q_mu;
     if pool.closed then begin
       Mutex.unlock pool.q_mu;
-      failwith "Pool.submit: pool is shut down"
+      raise Shutdown
     end;
     Queue.push (Job fut) pool.q;
     Condition.signal pool.q_cv;
@@ -219,11 +227,11 @@ let map_list ?deadline pool f xs =
   List.map await futs
 
 let shutdown pool =
+  Mutex.lock pool.q_mu;
+  pool.closed <- true;
+  Condition.broadcast pool.q_cv;
+  Mutex.unlock pool.q_mu;
   if pool.size > 1 then begin
-    Mutex.lock pool.q_mu;
-    pool.closed <- true;
-    Condition.broadcast pool.q_cv;
-    Mutex.unlock pool.q_mu;
     List.iter Domain.join pool.workers;
     pool.workers <- []
   end

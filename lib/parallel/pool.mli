@@ -28,6 +28,11 @@ exception Cancelled
     whose deadline has passed, and usable by tasks to cancel
     themselves. *)
 
+exception Shutdown
+(** Raised by {!submit} on a pool that has been shut down (typed, so
+    long-lived callers like the retiming server can map it to a
+    structured error). *)
+
 val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs] worker domains ([jobs <= 1]: none;
     default [Domain.recommended_domain_count ()]). *)
@@ -38,7 +43,7 @@ val size : t -> int
 val submit : ?deadline:float -> t -> (unit -> 'a) -> 'a future
 (** Enqueue a thunk; [deadline] is an absolute [Unix.gettimeofday] time.
     On an inline pool the thunk runs before [submit] returns.
-    @raise Failure if the pool has been shut down. *)
+    @raise Shutdown if the pool has been shut down. *)
 
 val await : 'a future -> 'a
 (** Block until the task resolves.  Re-raises the task's exception (with

@@ -1,0 +1,544 @@
+(* Retiming as a service (ROADMAP item 1): a long-lived daemon speaking
+   newline-delimited JSON over stdio or a Unix-domain socket.  Each
+   request carries a BLIF netlist and a cut heuristic; the daemon
+   validates at the trust boundary, dispatches the formal step to the
+   domain pool with a per-request deadline, and keys a bounded LRU proof
+   cache on the circuit's structural fingerprint so repeated or
+   isomorphic requests are answered without touching the kernel.
+
+   The cache has two levels.  L2 is the fingerprint cache: the key is
+   [Fingerprint.digest ^ level], and a hit additionally requires
+   equality of the full canonical form — a digest collision can cause a
+   spurious miss, never a wrong answer.  L1 is an exact-text front
+   cache keyed on a digest of the raw BLIF bytes (verified against the
+   stored text on hit), so byte-identical repeats skip the netlist
+   parse and fingerprint entirely; it is sound trivially — identical
+   bytes at the same level denote the same circuit.  Only
+   [maximal]-cut requests are cached at either level: the maximal cut
+   is canonical (a function of the circuit alone), whereas an explicit
+   gate list refers to signal indices of one particular representation
+   and is deliberately recomputed every time.
+
+   The cache stores only strings (the retimed BLIF and the printed
+   theorem), so entries are safe to share across OCaml domains — terms
+   never flow between domains, per the pool's discipline. *)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded LRU table (caller locks)                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Lru = struct
+  type 'v node = {
+    key : string;
+    value : 'v;
+    mutable prev : 'v node option;
+    mutable next : 'v node option;
+  }
+
+  type 'v t = {
+    capacity : int;
+    tbl : (string, 'v node) Hashtbl.t;
+    mutable first : 'v node option;  (* most recently used *)
+    mutable last : 'v node option;  (* least recently used *)
+  }
+
+  let create capacity =
+    { capacity = max 1 capacity; tbl = Hashtbl.create 64; first = None; last = None }
+
+  let length t = Hashtbl.length t.tbl
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.first;
+    (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+    t.first <- Some n
+
+  let find t key =
+    match Hashtbl.find_opt t.tbl key with
+    | None -> None
+    | Some n ->
+        unlink t n;
+        push_front t n;
+        Some n.value
+
+  (* Returns the number of evicted entries (0 or 1). *)
+  let add t key value =
+    (match Hashtbl.find_opt t.tbl key with
+    | Some old ->
+        unlink t old;
+        Hashtbl.remove t.tbl key
+    | None -> ());
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    if Hashtbl.length t.tbl > t.capacity then (
+      match t.last with
+      | Some lru ->
+          unlink t lru;
+          Hashtbl.remove t.tbl lru.key;
+          1
+      | None -> 0)
+    else 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Protocol types                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type error_code =
+  | Bad_request
+  | Invalid_netlist
+  | Invalid_cut
+  | Cut_mismatch
+  | Join_mismatch
+  | Kernel_invariant
+  | Unsupported
+  | Interface_mismatch
+  | Deadline_exceeded
+  | Shutdown
+  | Internal
+
+let code_string = function
+  | Bad_request -> "bad_request"
+  | Invalid_netlist -> "invalid_netlist"
+  | Invalid_cut -> "invalid_cut"
+  | Cut_mismatch -> "cut_mismatch"
+  | Join_mismatch -> "join_mismatch"
+  | Kernel_invariant -> "kernel_invariant"
+  | Unsupported -> "unsupported"
+  | Interface_mismatch -> "interface_mismatch"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutdown -> "shutdown"
+  | Internal -> "internal"
+
+(* Every typed exception of the stack maps to a protocol error — the
+   point of finishing the typed-error unification in lib/engines and
+   Pool.submit.  [Internal] is the catch-all for genuine bugs. *)
+let error_of_exn = function
+  | Circuit.Invalid_netlist msg -> (Invalid_netlist, msg)
+  | Cut.Invalid_cut msg -> (Invalid_cut, msg)
+  | Hash.Errors.Cut_mismatch msg -> (Cut_mismatch, msg)
+  | Hash.Errors.Join_mismatch msg -> (Join_mismatch, msg)
+  | Hash.Errors.Kernel_invariant msg -> (Kernel_invariant, msg)
+  | Engines.Common.Unsupported msg -> (Unsupported, msg)
+  | Engines.Common.Interface_mismatch msg -> (Interface_mismatch, msg)
+  | Engines.Common.Out_of_budget -> (Deadline_exceeded, "deadline exceeded")
+  | Parallel.Pool.Cancelled -> (Deadline_exceeded, "deadline exceeded")
+  | Parallel.Pool.Shutdown -> (Shutdown, "server is shutting down")
+  | Failure msg -> (Unsupported, msg)  (* Embed's precondition failures *)
+  | e -> (Internal, Printexc.to_string e)
+
+type cut_spec = Maximal | Gates of int list
+
+type request = {
+  id : Obs.Json.t option;  (* echoed back verbatim *)
+  blif : string;
+  level : Hash.Embed.level;
+  cut : cut_spec;
+  deadline_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_canon : string;  (* full canonical form; checked on every hit *)
+  e_blif : string;
+  e_theorem : string;
+  e_gates : int * int;  (* before, after *)
+  e_ffs : int * int;
+}
+
+type t = {
+  pool : Parallel.Pool.t;
+  mu : Mutex.t;
+  cache : entry Lru.t;
+  (* L1: digest of the raw BLIF bytes -> (those bytes, L2 digest, entry).
+     The stored bytes are compared on hit, so an MD5 collision on the
+     request text can only cause a miss. *)
+  text_cache : (string * string * entry) Lru.t;
+  counters : Obs.Cache.t;
+  default_deadline_s : float;
+}
+
+let create ?(jobs = 1) ?(cache_capacity = 64) ?(default_deadline_s = 30.0) ()
+    =
+  {
+    pool = Parallel.Pool.create ~jobs ();
+    mu = Mutex.create ();
+    cache = Lru.create cache_capacity;
+    text_cache = Lru.create cache_capacity;
+    counters = Obs.Cache.create ();
+    default_deadline_s;
+  }
+
+let shutdown t = Parallel.Pool.shutdown t.pool
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let stats t =
+  locked t (fun () -> Obs.Cache.to_json ~entries:(Lru.length t.cache) t.counters)
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse_request t json : (request, string) result =
+  let open Obs.Json in
+  match json with
+  | Obj _ -> (
+      let id = member "id" json in
+      match member "blif" json with
+      | None -> Error "missing field: blif"
+      | Some (Str blif) -> (
+          let level_r =
+            match member "level" json with
+            | None | Some (Str "bit") -> Ok Hash.Embed.Bit_level
+            | Some (Str "rt") -> Ok Hash.Embed.Rt_level
+            | Some _ -> Error "bad field: level (expected \"bit\" or \"rt\")"
+          in
+          let cut_r =
+            match member "cut" json with
+            | None | Some (Str "maximal") -> Ok Maximal
+            | Some (List l) ->
+                let rec ints acc = function
+                  | [] -> Ok (Gates (List.rev acc))
+                  | Int i :: rest -> ints (i :: acc) rest
+                  | _ -> Error "bad field: cut (expected integer gate list)"
+                in
+                ints [] l
+            | Some _ ->
+                Error "bad field: cut (expected \"maximal\" or a gate list)"
+          in
+          let deadline_r =
+            match member "deadline_s" json with
+            | None -> Ok t.default_deadline_s
+            | Some (Int i) -> Ok (float_of_int i)
+            | Some (Float f) -> Ok f
+            | Some _ -> Error "bad field: deadline_s (expected a number)"
+          in
+          match (level_r, cut_r, deadline_r) with
+          | Ok level, Ok cut, Ok dl ->
+              if not (dl > 0.0) then
+                Error "bad field: deadline_s (must be positive)"
+              else
+                Ok { id; blif; level; cut; deadline_s = min dl 3600.0 }
+          | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+      | Some _ -> Error "bad field: blif (expected a string)")
+  | _ -> Error "request is not a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let base_fields id =
+  match id with Some id -> [ ("id", id) ] | None -> []
+
+let error_response ?id code msg =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       (base_fields id
+       @ [
+           ("status", Obs.Json.Str "error");
+           ( "error",
+             Obs.Json.Obj
+               [
+                 ("code", Obs.Json.Str (code_string code));
+                 ("message", Obs.Json.Str msg);
+               ] );
+         ]))
+
+let cache_json t ~hit ~cacheable ~digest =
+  let counters_json =
+    locked t (fun () ->
+        Obs.Cache.to_json ~entries:(Lru.length t.cache) t.counters)
+  in
+  let extra =
+    [ ("hit", Obs.Json.Bool hit); ("cacheable", Obs.Json.Bool cacheable) ]
+    @ match digest with
+      | Some d -> [ ("digest", Obs.Json.Str d) ]
+      | None -> []
+  in
+  match counters_json with
+  | Obs.Json.Obj fields -> Obs.Json.Obj (extra @ fields)
+  | j -> j
+
+let ok_response t ~id ~hit ~cacheable ~digest ~(e : entry) ~wall_s =
+  let gb, ga = e.e_gates and fb, fa = e.e_ffs in
+  let circ g f =
+    Obs.Json.Obj [ ("gates", Obs.Json.Int g); ("flipflops", Obs.Json.Int f) ]
+  in
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       (base_fields id
+       @ [
+           ("status", Obs.Json.Str "ok");
+           ("circuit", circ gb fb);
+           ("retimed", circ ga fa);
+           ("blif", Obs.Json.Str e.e_blif);
+           ("theorem", Obs.Json.Str e.e_theorem);
+           ("cache", cache_json t ~hit ~cacheable ~digest);
+           ("wall_s", Obs.Json.Float wall_s);
+         ]))
+
+(* ------------------------------------------------------------------ *)
+(* The request pipeline                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Kernel work, run inside a pool task.  [keyfp] is present for cacheable
+   (maximal-cut) requests: the worker inserts the finished entry itself,
+   so concurrent requests can already hit it. *)
+let run_and_respond t (req : request) circuit keyfp ~deadline ~t0 =
+  try
+    let cut =
+      match req.cut with
+      | Maximal -> Cut.maximal circuit
+      | Gates gs -> Cut.of_gates circuit gs
+    in
+    let budget = { Engines.Common.deadline; max_bdd_nodes = 20_000_000 } in
+    let step = Hash.Synthesis.retime ~budget req.level circuit cut in
+    let e =
+      {
+        e_canon = "";
+        e_blif = Blif.to_string step.Hash.Synthesis.after;
+        e_theorem = Logic.Kernel.string_of_thm step.Hash.Synthesis.theorem;
+        e_gates =
+          ( Circuit.gate_count circuit,
+            Circuit.gate_count step.Hash.Synthesis.after );
+        e_ffs =
+          ( Circuit.flipflop_count circuit,
+            Circuit.flipflop_count step.Hash.Synthesis.after );
+      }
+    in
+    match keyfp with
+    | Some (key, fp, tkey) ->
+        let e = { e with e_canon = Fingerprint.canon fp } in
+        locked t (fun () ->
+            let evicted = Lru.add t.cache key e in
+            ignore
+              (Lru.add t.text_cache tkey (req.blif, Fingerprint.digest fp, e));
+            t.counters.Obs.Cache.insertions <-
+              t.counters.Obs.Cache.insertions + 1;
+            t.counters.Obs.Cache.evictions <-
+              t.counters.Obs.Cache.evictions + evicted);
+        ok_response t ~id:req.id ~hit:false ~cacheable:true
+          ~digest:(Some (Fingerprint.digest fp))
+          ~e
+          ~wall_s:(Unix.gettimeofday () -. t0)
+    | None ->
+        ok_response t ~id:req.id ~hit:false ~cacheable:false ~digest:None ~e
+          ~wall_s:(Unix.gettimeofday () -. t0)
+  with e ->
+    let code, msg = error_of_exn e in
+    error_response ?id:req.id code msg
+
+(* ------------------------------------------------------------------ *)
+(* Submission and channel loops                                         *)
+(* ------------------------------------------------------------------ *)
+
+type pending =
+  | Immediate of string
+  | Queued of Obs.Json.t option * string Parallel.Pool.future
+
+(* The front door runs in the calling thread: protocol parse, netlist
+   parse, validation and the cache lookup.  A hit (or any trust-boundary
+   rejection) is answered without touching the pool; only kernel work is
+   dispatched. *)
+let submit_line t line =
+  let t0 = Unix.gettimeofday () in
+  match Obs.Json.parse line with
+  | exception Obs.Json.Parse_error msg ->
+      Immediate (error_response Bad_request msg)
+  | json -> (
+      match parse_request t json with
+      | Error msg ->
+          Immediate
+            (error_response ?id:(Obs.Json.member "id" json) Bad_request msg)
+      | Ok req -> (
+          let deadline = t0 +. req.deadline_s in
+          match
+            match req.cut with
+            | Gates _ ->
+                (* Explicit gate lists name signal indices of this
+                   particular representation — never served from (or
+                   stored into) the caches. *)
+                let circuit = Blif.of_string req.blif in
+                Circuit.validate circuit;
+                `Run
+                  (fun () -> run_and_respond t req circuit None ~deadline ~t0)
+            | Maximal -> (
+                let level_tag =
+                  match req.level with
+                  | Hash.Embed.Bit_level -> "bit"
+                  | Hash.Embed.Rt_level -> "rt"
+                in
+                (* L1: byte-identical repeat?  Answered before the BLIF
+                   is even parsed. *)
+                let tkey = Digest.string (level_tag ^ "\x00" ^ req.blif) in
+                let text_hit =
+                  locked t (fun () ->
+                      match Lru.find t.text_cache tkey with
+                      | Some (blif, digest, e)
+                        when String.equal blif req.blif ->
+                          t.counters.Obs.Cache.hits <-
+                            t.counters.Obs.Cache.hits + 1;
+                          Some (digest, e)
+                      | Some _ | None -> None)
+                in
+                match text_hit with
+                | Some (digest, e) ->
+                    `Hit
+                      (ok_response t ~id:req.id ~hit:true ~cacheable:true
+                         ~digest:(Some digest) ~e
+                         ~wall_s:(Unix.gettimeofday () -. t0))
+                | None -> (
+                    let circuit = Blif.of_string req.blif in
+                    let fp = Fingerprint.of_circuit circuit in
+                    let key = Fingerprint.digest fp ^ "/" ^ level_tag in
+                    let cached =
+                      locked t (fun () ->
+                          match Lru.find t.cache key with
+                          | Some e
+                            when String.equal e.e_canon (Fingerprint.canon fp)
+                            ->
+                              t.counters.Obs.Cache.hits <-
+                                t.counters.Obs.Cache.hits + 1;
+                              (* remember the spelling for next time *)
+                              ignore
+                                (Lru.add t.text_cache tkey
+                                   (req.blif, Fingerprint.digest fp, e));
+                              Some e
+                          | Some _ | None ->
+                              t.counters.Obs.Cache.misses <-
+                                t.counters.Obs.Cache.misses + 1;
+                              None)
+                    in
+                    match cached with
+                    | Some e ->
+                        `Hit
+                          (ok_response t ~id:req.id ~hit:true ~cacheable:true
+                             ~digest:(Some (Fingerprint.digest fp))
+                             ~e
+                             ~wall_s:(Unix.gettimeofday () -. t0))
+                    | None ->
+                        `Run
+                          (fun () ->
+                            run_and_respond t req circuit
+                              (Some (key, fp, tkey))
+                              ~deadline ~t0)))
+          with
+          | `Hit resp -> Immediate resp
+          | `Run thunk -> (
+              match Parallel.Pool.submit ~deadline t.pool thunk with
+              | fut -> Queued (req.id, fut)
+              | exception Parallel.Pool.Shutdown ->
+                  Immediate
+                    (error_response ?id:req.id Shutdown
+                       "server is shutting down"))
+          | exception e ->
+              let code, msg = error_of_exn e in
+              Immediate (error_response ?id:req.id code msg)))
+
+let collect = function
+  | Immediate s -> s
+  | Queued (id, fut) -> (
+      match Parallel.Pool.await fut with
+      | s -> s
+      | exception Parallel.Pool.Cancelled ->
+          error_response ?id Deadline_exceeded
+            "deadline passed before the request was scheduled"
+      | exception e ->
+          let code, msg = error_of_exn e in
+          error_response ?id code msg)
+
+let handle_line t line = collect (submit_line t line)
+
+(* Requests pipeline through the pool; responses come back in request
+   order (a pending queue, drained as the head resolves). *)
+(* The reader (this thread) parses lines and dispatches; a writer
+   domain awaits each pending response in request order and emits it
+   the moment it resolves.  Splitting the two is what lets an
+   interactive client see its response while the reader is blocked on
+   [input_line] — a single-threaded read-then-drain loop would hold
+   finished responses hostage until the next request (or EOF)
+   arrived. *)
+let serve_channel t ic oc =
+  let q = Queue.create () in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let push item =
+    Mutex.lock mu;
+    Queue.push item q;
+    Condition.signal cv;
+    Mutex.unlock mu
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        let emit s =
+          output_string oc s;
+          output_char oc '\n';
+          flush oc
+        in
+        let rec wloop () =
+          Mutex.lock mu;
+          while Queue.is_empty q do
+            Condition.wait cv mu
+          done;
+          let item = Queue.pop q in
+          Mutex.unlock mu;
+          match item with
+          | None -> ()
+          | Some p ->
+              emit (collect p);
+              wloop ()
+        in
+        wloop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      push None;
+      (* a writer that died mid-emit (client hung up) already lost the
+         connection; its exception must not escape the channel loop *)
+      try Domain.join writer with _ -> ())
+    (fun () ->
+      try
+        let rec loop () =
+          let line = input_line ic in
+          if String.trim line <> "" then push (Some (submit_line t line));
+          loop ()
+        in
+        loop ()
+      with End_of_file | Sys_error _ -> ())
+
+let run_stdio t = serve_channel t stdin stdout
+
+(* Connections are accepted one at a time; requests within a connection
+   still pipeline through the pool. *)
+let run_socket t ~path =
+  (* a client that hangs up mid-response must cost us the connection,
+     not the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  let rec accept_loop () =
+    let fd, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try serve_channel t ic oc
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    (try flush oc with Sys_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,88 @@
+(** Retiming as a service: a long-lived daemon over newline-delimited
+    JSON (stdio or a Unix-domain socket) with a fingerprint-keyed proof
+    cache.
+
+    {2 Protocol}
+
+    One request per line, one response per line, in request order.
+    Request fields: ["blif"] (string, required), ["cut"] (["maximal"]
+    (default) or a list of gate signal indices), ["level"] (["bit"]
+    (default) or ["rt"]), ["deadline_s"] (positive number, server
+    default otherwise), ["id"] (any JSON value, echoed back).
+
+    A successful response carries [status = "ok"], the retimed netlist
+    as BLIF text (["blif"]), the kernel theorem (["theorem"]),
+    gate/flip-flop statistics and a ["cache"] object (hit flag,
+    fingerprint digest, hit/miss/eviction counters).  A failed request
+    carries [status = "error"] and an [error] object whose [code] is one
+    of the strings of {!code_string} — every typed exception of the
+    stack maps to a code; ["internal"] means a bug.
+
+    {2 Cache semantics}
+
+    Only [maximal]-cut requests are cached: the maximal cut is a
+    function of the circuit alone, so the (fingerprint, level) pair
+    fully determines the result.  The cache is two-level.  An
+    exact-text front cache (keyed on a digest of the raw BLIF bytes,
+    verified against the stored bytes on hit) answers byte-identical
+    repeats without parsing; behind it, the fingerprint cache requires
+    digest {e and} full canonical-form equality ({!Fingerprint.equal}'s
+    contract), so a digest collision can only cause a spurious miss.
+    A hit returns the theorem proved for the structurally identical
+    (isomorphic) circuit of the earlier request; the counters in
+    responses count hits at either level, while
+    insertions/evictions/entries describe the fingerprint cache.
+    Explicit gate-list cuts refer to signal indices of one specific
+    representation and always run the kernel. *)
+
+type t
+
+val create :
+  ?jobs:int -> ?cache_capacity:int -> ?default_deadline_s:float -> unit -> t
+(** [jobs] worker domains (default 1 = inline); [cache_capacity] LRU
+    entries (default 64, clamped to >= 1); [default_deadline_s] for
+    requests that carry none (default 30). *)
+
+val shutdown : t -> unit
+
+val stats : t -> Obs.Json.t
+(** Current cache counters and population, as the ["cache"] response
+    object (minus the per-request fields). *)
+
+(** {2 Request processing} *)
+
+val handle_line : t -> string -> string
+(** Parse one request line, process it (through the pool, respecting its
+    deadline) and return the response line.  Never raises: every failure
+    becomes an error response. *)
+
+val serve_channel : t -> in_channel -> out_channel -> unit
+(** Serve newline-delimited requests until EOF.  Requests pipeline
+    through the pool; responses are written in request order. *)
+
+val run_stdio : t -> unit
+
+val run_socket : t -> path:string -> unit
+(** Bind (replacing any stale file), listen, and serve connections
+    sequentially, forever.  Requests within a connection pipeline. *)
+
+(** {2 Error codes} *)
+
+type error_code =
+  | Bad_request
+  | Invalid_netlist
+  | Invalid_cut
+  | Cut_mismatch
+  | Join_mismatch
+  | Kernel_invariant
+  | Unsupported
+  | Interface_mismatch
+  | Deadline_exceeded
+  | Shutdown
+  | Internal
+
+val code_string : error_code -> string
+
+val error_of_exn : exn -> error_code * string
+(** Total mapping from the stack's typed exceptions to protocol errors
+    (exposed for the tests). *)

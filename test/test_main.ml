@@ -5,6 +5,8 @@ let () =
       ("term_props", Test_term_props.suite);
       ("automata", Test_automata.suite);
       ("netlist", Test_netlist.suite);
+      ("obs_json", Test_obs_json.suite);
+      ("fingerprint", Test_fingerprint.suite);
       ("bdd", Test_bdd.suite);
       ("retiming", Test_retiming.suite);
       ("engines", Test_engines.suite);
@@ -12,4 +14,5 @@ let () =
       ("circuits", Test_circuits.suite);
       ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -229,10 +229,19 @@ let test_stress_interning_integrity () =
     (fun i ok -> check (Printf.sprintf "probe %d" i) true ok)
     probes
 
+let test_submit_after_shutdown () =
+  let pool = Parallel.Pool.create ~jobs:2 () in
+  Parallel.Pool.shutdown pool;
+  match Parallel.Pool.submit pool (fun () -> 1) with
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+  | exception Parallel.Pool.Shutdown -> ()
+
 let suite =
   [
     Alcotest.test_case "map_list ordering" `Quick test_map_ordering;
     Alcotest.test_case "inline pool" `Quick test_inline_pool;
+    Alcotest.test_case "submit after shutdown raises" `Quick
+      test_submit_after_shutdown;
     Alcotest.test_case "exception propagation" `Quick
       test_exception_propagation;
     Alcotest.test_case "deadline expires in queue" `Quick

@@ -1,0 +1,231 @@
+(* The retiming daemon: protocol behaviour of [Serve.handle_line] (hits,
+   misses, eviction, every rejection class) and a channel smoke test
+   with a live pool behind a pipe pair. *)
+
+module J = Obs.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk_server ?(jobs = 1) ?(cache_capacity = 64) () =
+  Serve.create ~jobs ~cache_capacity ~default_deadline_s:60.0 ()
+
+let request ?(extra = []) id blif =
+  J.to_string (J.Obj ([ ("id", J.Int id); ("blif", J.Str blif) ] @ extra))
+
+let blif_of n = Blif.to_string (Fig2.gate n)
+
+let parse resp =
+  match J.parse resp with
+  | j -> j
+  | exception J.Parse_error msg ->
+      Alcotest.fail (Printf.sprintf "unparseable response (%s): %s" msg resp)
+
+let status j =
+  match J.member "status" j with
+  | Some (J.Str s) -> s
+  | _ -> Alcotest.fail "response without status"
+
+let error_code j =
+  match Option.bind (J.member "error" j) (J.member "code") with
+  | Some (J.Str c) -> c
+  | _ -> Alcotest.fail "error response without code"
+
+let cache_field name j =
+  match Option.bind (J.member "cache" j) (J.member name) with
+  | Some v -> v
+  | None -> Alcotest.fail ("ok response without cache." ^ name)
+
+let cache_bool name j =
+  match cache_field name j with
+  | J.Bool b -> b
+  | _ -> Alcotest.fail ("cache." ^ name ^ " is not a bool")
+
+let cache_int name j =
+  match cache_field name j with
+  | J.Int i -> i
+  | _ -> Alcotest.fail ("cache." ^ name ^ " is not an int")
+
+let expect_error srv line code =
+  let j = parse (Serve.handle_line srv line) in
+  Alcotest.(check string) ("status of " ^ line) "error" (status j);
+  Alcotest.(check string) ("code of " ^ line) code (error_code j)
+
+(* --- cache behaviour ------------------------------------------------ *)
+
+let test_miss_then_hit () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  let b = blif_of 3 in
+  let r1 = parse (Serve.handle_line srv (request 1 b)) in
+  Alcotest.(check string) "first ok" "ok" (status r1);
+  check "first is a miss" false (cache_bool "hit" r1);
+  check_int "one miss" 1 (cache_int "misses" r1);
+  let r2 = parse (Serve.handle_line srv (request 2 b)) in
+  check "identical text hits" true (cache_bool "hit" r2);
+  check_int "one hit" 1 (cache_int "hits" r2);
+  (* same circuit, different spelling: only the fingerprint can match *)
+  let renamed =
+    String.concat "\n"
+      (List.map
+         (fun l ->
+           if l = ".model fig2_rt_3_bits" then ".model other_name" else l)
+         (String.split_on_char '\n' b))
+  in
+  let r3 = parse (Serve.handle_line srv (request 3 renamed)) in
+  check "renamed model hits via fingerprint" true (cache_bool "hit" r3);
+  check_int "two hits" 2 (cache_int "hits" r3);
+  (* the retimed payloads agree *)
+  Alcotest.(check bool) "same blif payload" true
+    (J.member "blif" r1 = J.member "blif" r3)
+
+let test_levels_distinct () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  let b = blif_of 2 in
+  let bit = request ~extra:[ ("level", J.Str "bit") ] 1 b in
+  let rt = request ~extra:[ ("level", J.Str "rt") ] 2 b in
+  let r1 = parse (Serve.handle_line srv bit) in
+  Alcotest.(check string) "bit ok" "ok" (status r1);
+  let r2 = parse (Serve.handle_line srv rt) in
+  Alcotest.(check string) "rt ok" "ok" (status r2);
+  check "rt does not hit the bit entry" false (cache_bool "hit" r2)
+
+let test_eviction () =
+  let srv = mk_server ~cache_capacity:2 () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  List.iter
+    (fun n ->
+      let j = parse (Serve.handle_line srv (request n (blif_of n))) in
+      Alcotest.(check string) "ok" "ok" (status j))
+    [ 1; 2; 3 ];
+  let j = parse (Serve.handle_line srv (request 4 (blif_of 3))) in
+  check "newest entry still cached" true (cache_bool "hit" j);
+  check "an eviction was counted" true (cache_int "evictions" j >= 1);
+  (* circuit 1 was evicted: re-requesting it is a miss again *)
+  let j = parse (Serve.handle_line srv (request 5 (blif_of 1))) in
+  check "evicted entry misses" false (cache_bool "hit" j)
+
+let test_explicit_cut_bypasses_cache () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  let c = Fig2.gate 2 in
+  let b = Blif.to_string c in
+  let cut = (Cut.maximal c).Cut.f_gates in
+  let extra = [ ("cut", J.List (List.map (fun g -> J.Int g) cut)) ] in
+  let r1 = parse (Serve.handle_line srv (request ~extra 1 b)) in
+  Alcotest.(check string) "explicit cut ok" "ok" (status r1);
+  check "explicit cut not cacheable" false (cache_bool "cacheable" r1);
+  let r2 = parse (Serve.handle_line srv (request ~extra 2 b)) in
+  check "explicit cut never hits" false (cache_bool "hit" r2)
+
+(* --- rejections ----------------------------------------------------- *)
+
+let test_rejections () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  expect_error srv "this is not json {" "bad_request";
+  expect_error srv "{\"id\":1}" "bad_request";
+  expect_error srv (request 2 (blif_of 2) ^ "garbage") "bad_request";
+  expect_error srv
+    (request ~extra:[ ("level", J.Str "gate") ] 3 (blif_of 2))
+    "bad_request";
+  expect_error srv
+    (request ~extra:[ ("deadline_s", J.Str "soon") ] 4 (blif_of 2))
+    "bad_request";
+  expect_error srv
+    (request ~extra:[ ("deadline_s", J.Int 0) ] 5 (blif_of 2))
+    "bad_request";
+  expect_error srv (request 6 "not blif at all") "invalid_netlist";
+  expect_error srv
+    (request ~extra:[ ("cut", J.List [ J.Int 99999 ]) ] 7 (blif_of 2))
+    "invalid_cut"
+
+let test_tiny_deadline () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  (* valid but unmeetable: the pool cancels the task at dispatch *)
+  let j =
+    parse
+      (Serve.handle_line srv
+         (request ~extra:[ ("deadline_s", J.Float 1e-9) ] 1 (blif_of 8)))
+  in
+  Alcotest.(check string) "status" "error" (status j);
+  Alcotest.(check string) "code" "deadline_exceeded" (error_code j)
+
+let test_shutdown_rejects () =
+  let srv = mk_server () in
+  Serve.shutdown srv;
+  let j = parse (Serve.handle_line srv (request 1 (blif_of 2))) in
+  Alcotest.(check string) "status" "error" (status j);
+  Alcotest.(check string) "code" "shutdown" (error_code j)
+
+(* --- channel smoke test --------------------------------------------- *)
+
+let test_serve_channel () =
+  let srv = mk_server ~jobs:2 () in
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let d =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Serve.serve_channel srv ic oc;
+        flush oc;
+        Unix.close resp_w)
+  in
+  let oc = Unix.out_channel_of_descr req_w in
+  let b = blif_of 2 in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    [ request 1 b; request 2 b; "broken json"; request 3 b ];
+  close_out oc;
+  Domain.join d;
+  Serve.shutdown srv;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let responses = ref [] in
+  (try
+     while true do
+       responses := input_line ic :: !responses
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let responses = List.rev_map parse !responses in
+  check_int "four responses" 4 (List.length responses);
+  (* responses come back in request order *)
+  List.iteri
+    (fun i j ->
+      match (i, J.member "id" j) with
+      | 0, Some (J.Int 1) | 1, Some (J.Int 2) | 3, Some (J.Int 3) -> ()
+      | 2, None -> ()  (* the broken line carries no id *)
+      | _ -> Alcotest.fail "responses out of order")
+    responses;
+  match responses with
+  | [ a; b'; c; d' ] ->
+      Alcotest.(check string) "r1" "ok" (status a);
+      (* r2 and r4 duplicate r1, but they pipeline: whether they hit
+         depends on whether r1's insert has landed, so only the status
+         and cacheability are deterministic here *)
+      Alcotest.(check string) "r2" "ok" (status b');
+      check "r2 cacheable" true (cache_bool "cacheable" b');
+      Alcotest.(check string) "r3" "error" (status c);
+      Alcotest.(check string) "r3 code" "bad_request" (error_code c);
+      Alcotest.(check string) "r4" "ok" (status d')
+  | _ -> Alcotest.fail "unreachable"
+
+let suite =
+  [
+    Alcotest.test_case "miss, text hit, fingerprint hit" `Quick
+      test_miss_then_hit;
+    Alcotest.test_case "levels keyed separately" `Quick test_levels_distinct;
+    Alcotest.test_case "LRU eviction" `Quick test_eviction;
+    Alcotest.test_case "explicit cut bypasses cache" `Quick
+      test_explicit_cut_bypasses_cache;
+    Alcotest.test_case "rejection taxonomy" `Quick test_rejections;
+    Alcotest.test_case "unmeetable deadline" `Quick test_tiny_deadline;
+    Alcotest.test_case "shutdown rejects new work" `Quick
+      test_shutdown_rejects;
+    Alcotest.test_case "serve_channel pipeline" `Quick test_serve_channel;
+  ]
