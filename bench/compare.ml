@@ -6,7 +6,8 @@
    Exit codes: 0 = no regression, 1 = at least one row regressed by more
    than the threshold (default 20%), 2 = usage or parse error.  Rows are
    matched by name under the given prefixes; --prefix is repeatable, and
-   when absent the gate covers "kernel/", "bdd/" and "hash/".  The
+   when absent the gate covers "kernel/", "bdd/", "eijk/" and "hash/".
+   The
    per-row delta table is always printed, gate pass or fail.  Rows
    missing on either side are reported but do not fail the gate (new
    benchmarks appear, old ones get renamed).  Used as an optional gate in
@@ -242,7 +243,7 @@ let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   let prefixes =
     match List.rev !prefixes with
-    | [] -> [ "kernel/"; "bdd/"; "hash/" ]
+    | [] -> [ "kernel/"; "bdd/"; "eijk/"; "hash/" ]
     | ps -> ps
   in
   match List.rev !files with

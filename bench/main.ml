@@ -44,6 +44,21 @@ let deadline =
 let max_n = min 63 (max 1 (env_int "BENCH_MAX_N" 63))
 let jobs = max 1 (env_int "BENCH_JOBS" (Domain.recommended_domain_count ()))
 
+(* BENCH_REORDER=off|auto|sift selects the dynamic variable reordering
+   mode every manager is created with (including the per-domain reused
+   ones).  Same fallback discipline as the numeric knobs: unreadable
+   values mean the default, and the JSON header echoes what was
+   resolved. *)
+let reorder =
+  match Sys.getenv_opt "BENCH_REORDER" with
+  | Some v -> (
+      match Bdd.reorder_mode_of_string_opt v with
+      | Some mode -> mode
+      | None -> Bdd.Off)
+  | None -> Bdd.Off
+
+let () = Bdd.set_default_reorder reorder
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -89,6 +104,7 @@ let hash_cell (r : Obs.engine_run) =
 let report_json r = Obs.engine_run_json (Engines.Common.report_to_run r)
 
 let write_table_json path table rows_json =
+  let created, reused = Engines.Common.bdd_domain_stats () in
   Obs.Json.to_file path
     (Obs.Json.Obj
        [
@@ -96,6 +112,9 @@ let write_table_json path table rows_json =
          ("deadline_s", Obs.Json.Float deadline);
          ("max_n", Obs.Json.Int max_n);
          ("jobs", Obs.Json.Int jobs);
+         ("reorder", Obs.Json.Str (Bdd.reorder_mode_to_string reorder));
+         ("bdd_domain_created", Obs.Json.Int created);
+         ("bdd_domain_reused", Obs.Json.Int reused);
          ("rows", Obs.Json.List rows_json);
        ]);
   Printf.printf "wrote %s\n" path
@@ -313,6 +332,21 @@ let bdd_ite_storm () =
   done;
   ignore (Bdd.exists m [ 0; 2; 4; 6; 8; 10 ] !f)
 
+(* The sifting machinery end to end: build the classic pairing function
+   OR_i (x_i AND x_(8+i)) under the interleaving-hostile order
+   x0..x15 (exponential at 2^8 nodes), then sift it down to the linear
+   form.  Reordering is forced off during the build so the row measures
+   one deliberate sift, not the auto trigger. *)
+let bdd_reorder_sift () =
+  let m = Bdd.manager () in
+  Bdd.set_reorder m Bdd.Off;
+  let h = 8 in
+  let f = ref (Bdd.zero m) in
+  for i = 0 to h - 1 do
+    f := Bdd.or_ m !f (Bdd.and_ m (Bdd.var m i) (Bdd.var m (h + i)))
+  done;
+  Bdd.sift m
+
 (* Run one Bechamel group and return its (name, ns/run) estimates.  The
    micro rows are grouped kernel/* | bdd/* | hash/* so that the compare
    gate can hold each subsystem to the regression threshold separately. *)
@@ -426,6 +460,19 @@ let micro () =
           (Staged.stage (fun () ->
                let m = Bdd.manager () in
                ignore (Engines.Symbolic.product m pg pr)));
+        Test.make ~name:"reorder-sift" (Staged.stage bdd_reorder_sift);
+      ]
+  in
+  (* the van Eijk classing front-end: packed-signature simulation of the
+     s344 retiming pair (no BDD work) *)
+  let eijk_c = Lazy.force (Iwls.find "s344").Iwls.circuit in
+  let eijk_r = Forward.retime eijk_c (Cut.maximal eijk_c) in
+  let eijk_tests =
+    Test.make_grouped ~name:"eijk"
+      [
+        Test.make ~name:"candidates-s344"
+          (Staged.stage (fun () ->
+               ignore (Engines.Eijk.candidate_classes eijk_c eijk_r)));
       ]
   in
   let hash_tests =
@@ -440,7 +487,8 @@ let micro () =
       ]
   in
   let estimates =
-    List.concat_map run_group [ kernel_tests; bdd_tests; hash_tests ]
+    List.concat_map run_group
+      [ kernel_tests; bdd_tests; eijk_tests; hash_tests ]
   in
   Obs.Json.to_file "BENCH_micro.json"
     (Obs.Json.Obj
@@ -494,4 +542,20 @@ let () =
       exit 2);
   Parallel.Pool.shutdown pool;
   Printf.printf "\nkernel rule applications performed: %d\n"
-    (Logic.Kernel.total_rule_count ())
+    (Logic.Kernel.total_rule_count ());
+  (* Per-domain manager reuse is the fix for the jobs>1 BDD-contention
+     regression; assert it is actually happening whenever a table sweep
+     acquired clearly more managers than there are domains.  [created]
+     can legitimately exceed [jobs] (blown-up managers are dropped at
+     release), but a sweep with zero reuse means every cell rebuilt its
+     tables from scratch — the exact regression this guards against. *)
+  let created, reused = Engines.Common.bdd_domain_stats () in
+  Printf.printf "bdd domain managers: created %d, reused %d\n" created reused;
+  match what with
+  | ("table1" | "table2" | "all") when created + reused > 2 * jobs && reused = 0
+    ->
+      prerr_endline
+        "FATAL: per-domain BDD manager reuse regressed (every cell built a \
+         fresh manager)";
+      exit 1
+  | _ -> ()

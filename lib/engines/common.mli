@@ -10,7 +10,13 @@ type result =
 
 type budget = {
   deadline : float;  (** absolute [Unix.gettimeofday] time *)
-  max_bdd_nodes : int;  (** abort when a manager exceeds this many nodes *)
+  max_bdd_nodes : int;
+      (** abort when a manager allocates this many nodes past
+          [bdd_base] *)
+  mutable bdd_base : int;
+      (** manager population at engine entry (see {!arm_nodes});
+          managers are reused across runs, so node budgets are
+          relative *)
 }
 
 val budget_of_seconds : ?max_bdd_nodes:int -> float -> budget
@@ -45,12 +51,38 @@ val kernel_total : unit -> Obs.kernel_snapshot
 
 val observe :
   engine:string -> (unit -> result * (string * float) list) -> report
-(** Time a non-BDD engine run; [Out_of_budget] maps to [Timeout]. *)
+(** Time a non-BDD engine run; [Out_of_budget] maps to [Timeout].  The
+    report's [extra] gains [Gc.quick_stat] deltas ([gc_minor_words],
+    [gc_major_words], …). *)
 
 val observe_bdd :
   engine:string -> (Bdd.manager -> result * (string * float) list) -> report
-(** Allocate a fresh manager, time the run, and snapshot the kernel
-    counters (also on budget exhaustion, which maps to [Timeout]). *)
+(** Run with this domain's reused manager (see {!domain_manager}), time
+    the run, and report the BDD counters as deltas over the run — for a
+    reused manager, [peak_nodes] is the run's own node allocation.  GC
+    deltas ride along in [extra] as in {!observe}.  [Out_of_budget] maps
+    to [Timeout]. *)
+
+val domain_manager : unit -> Bdd.manager
+(** The calling domain's reused BDD manager, created on first use by
+    [Bdd.share] of a frozen base snapshot (re-frozen from the main
+    domain's manager at pool spawn via [Pool.register_pre_spawn]).
+    Callers running an engine by hand should pair it with
+    {!release_manager}. *)
+
+val release_manager : Bdd.manager -> unit
+(** Hand the domain manager back: drops it (next use re-seeds from the
+    frozen base) when it has grown past the recycle threshold, so a
+    blowup cell cannot pin hundreds of MB per domain. *)
+
+val bdd_domain_stats : unit -> int * int
+(** [(created, reused)] counts of {!domain_manager} calls across all
+    domains — the bench asserts [reused > 0] under multi-cell sweeps so
+    the per-cell manager-rebuild regression cannot silently return. *)
+
+val arm_nodes : budget -> Bdd.manager -> unit
+(** Set [budget.bdd_base] to the manager's current population; engines
+    call it at entry so {!check_nodes} measures their own allocation. *)
 
 val report_to_run : report -> Obs.engine_run
 (** Convert to the serialisable {!Obs.engine_run} form. *)

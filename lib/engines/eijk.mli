@@ -19,7 +19,13 @@
     The [star] variant first eliminates functionally dependent registers
     (duplicate/complementary/constant next-state functions), shrinking the
     BDD variable support before the fixpoint — the paper's "Eijk*"
-    column. *)
+    column.
+
+    Simulation traces are packed 62-to-a-word into int arrays with a
+    canonical polarity bit, and the refinement runs over a union-find on
+    the product universe (one ascending scan per split, buckets keyed by
+    (root, BDD)); a list-of-lists reference refiner is retained for the
+    test suite. *)
 
 val equiv :
   ?debug:bool ->
@@ -39,3 +45,18 @@ val equiv_report :
   Common.budget -> Circuit.t -> Circuit.t -> Common.report
 (** Like {!equiv}, with wall time and kernel counters; [extra] carries
     [inductive_classes] (surviving classes at the fixpoint). *)
+
+val candidate_classes : ?sim_cycles:int -> Circuit.t -> Circuit.t -> int * int
+(** [(classes, members)] of the simulation-seeded candidate partition
+    (packed signatures only, no BDD work) — the benchmark's microscope on
+    the classing front-end.  Deterministic for a given pair. *)
+
+val refine_both_for_tests :
+  ?sim_cycles:int ->
+  Common.budget -> Circuit.t -> Circuit.t ->
+  (int * bool) list list * (int * bool) list list
+(** Run the union-find refiner and the retained list-based reference
+    refiner from one shared setup; returns both final partitions in
+    canonical form (members [(universe index, inverted)] sorted within a
+    class, classes sorted).  Test-suite hook: the two must be equal.
+    @raise Common.Out_of_budget like the engine proper. *)

@@ -1,6 +1,7 @@
 (* The traversal proper, over a caller-supplied manager (so the caller can
    snapshot the kernel counters afterwards).  Raises [Common.Out_of_budget]. *)
 let equiv_stats_m m budget ca cb =
+  Common.arm_nodes budget m;
   let p = Symbolic.product ~check:(fun () -> Common.check_nodes budget m) m ca cb in
     let k = p.Symbolic.n_regs in
     (* Output-difference predicate over current state: exists an input

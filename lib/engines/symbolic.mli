@@ -29,6 +29,13 @@ val compile_signals :
     @raise Common.Unsupported on word signals. *)
 
 val product :
-  ?check:(unit -> unit) -> Bdd.manager -> Circuit.t -> Circuit.t -> product
+  ?check:(unit -> unit) ->
+  ?interleave:bool ->
+  Bdd.manager -> Circuit.t -> Circuit.t -> product
 (** Build the product machine of two interface-compatible circuits.
+    [interleave] (default [false]) pairs register [i] of A with register
+    [i] of B in the variable order instead of laying out A's bank before
+    B's — the right choice when the caller builds cross-circuit
+    correspondence relations (van Eijk), the wrong one for plain
+    reachability.
     @raise Common.Interface_mismatch if the interfaces differ. *)

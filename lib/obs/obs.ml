@@ -12,6 +12,8 @@ module Counters = struct
     mutable cache_misses : int;
     mutable memo_hits : int;
     mutable memo_misses : int;
+    mutable reorder_swaps : int;
+    mutable sift_passes : int;
   }
 
   let create () =
@@ -23,6 +25,8 @@ module Counters = struct
       cache_misses = 0;
       memo_hits = 0;
       memo_misses = 0;
+      reorder_swaps = 0;
+      sift_passes = 0;
     }
 
   let reset c =
@@ -32,7 +36,9 @@ module Counters = struct
     c.cache_hits <- 0;
     c.cache_misses <- 0;
     c.memo_hits <- 0;
-    c.memo_misses <- 0
+    c.memo_misses <- 0;
+    c.reorder_swaps <- 0;
+    c.sift_passes <- 0
 end
 
 type snapshot = {
@@ -43,6 +49,8 @@ type snapshot = {
   cache_misses : int;
   memo_hits : int;
   memo_misses : int;
+  reorder_swaps : int;
+  sift_passes : int;
   peak_nodes : int;
 }
 
@@ -55,6 +63,8 @@ let empty =
     cache_misses = 0;
     memo_hits = 0;
     memo_misses = 0;
+    reorder_swaps = 0;
+    sift_passes = 0;
     peak_nodes = 0;
   }
 
@@ -67,6 +77,8 @@ let snapshot ?(peak_nodes = 0) (c : Counters.t) =
     cache_misses = c.Counters.cache_misses;
     memo_hits = c.Counters.memo_hits;
     memo_misses = c.Counters.memo_misses;
+    reorder_swaps = c.Counters.reorder_swaps;
+    sift_passes = c.Counters.sift_passes;
     peak_nodes;
   }
 
@@ -82,7 +94,27 @@ let add a b =
     cache_misses = a.cache_misses + b.cache_misses;
     memo_hits = a.memo_hits + b.memo_hits;
     memo_misses = a.memo_misses + b.memo_misses;
+    reorder_swaps = a.reorder_swaps + b.reorder_swaps;
+    sift_passes = a.sift_passes + b.sift_passes;
     peak_nodes = a.peak_nodes + b.peak_nodes;
+  }
+
+(* Per-run deltas of a manager that outlives the run (the engines layer
+   reuses one manager per domain): every monotone counter subtracts, and
+   so does [peak_nodes] — for a reused manager it carries [node_count],
+   so the delta is the run's own node allocation. *)
+let snapshot_delta ~before ~after =
+  {
+    mk_calls = after.mk_calls - before.mk_calls;
+    unique_hits = after.unique_hits - before.unique_hits;
+    unique_misses = after.unique_misses - before.unique_misses;
+    cache_hits = after.cache_hits - before.cache_hits;
+    cache_misses = after.cache_misses - before.cache_misses;
+    memo_hits = after.memo_hits - before.memo_hits;
+    memo_misses = after.memo_misses - before.memo_misses;
+    reorder_swaps = after.reorder_swaps - before.reorder_swaps;
+    sift_passes = after.sift_passes - before.sift_passes;
+    peak_nodes = after.peak_nodes - before.peak_nodes;
   }
 
 let hit_rate s =
@@ -158,6 +190,53 @@ type engine_run = {
   kern : kernel_snapshot;
   extra : (string * float) list;
 }
+
+(* GC pressure per bench row: [Gc.quick_stat] deltas bracketing a run.
+   quick_stat reads per-domain counters without forcing a collection, so
+   sampling it around every cell is free; the deltas make "off-heap
+   tables reduced GC work" a machine-checkable claim instead of an
+   anecdote. *)
+module Gcstats = struct
+  type t = {
+    minor_words : float;
+    major_words : float;
+    promoted_words : float;
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+  }
+
+  let now () =
+    let s = Gc.quick_stat () in
+    {
+      minor_words = s.Gc.minor_words;
+      major_words = s.Gc.major_words;
+      promoted_words = s.Gc.promoted_words;
+      minor_collections = s.Gc.minor_collections;
+      major_collections = s.Gc.major_collections;
+      compactions = s.Gc.compactions;
+    }
+
+  let delta ~before ~after =
+    {
+      minor_words = after.minor_words -. before.minor_words;
+      major_words = after.major_words -. before.major_words;
+      promoted_words = after.promoted_words -. before.promoted_words;
+      minor_collections = after.minor_collections - before.minor_collections;
+      major_collections = after.major_collections - before.major_collections;
+      compactions = after.compactions - before.compactions;
+    }
+
+  let extras t =
+    [
+      ("gc_minor_words", t.minor_words);
+      ("gc_major_words", t.major_words);
+      ("gc_promoted_words", t.promoted_words);
+      ("gc_minor_collections", float_of_int t.minor_collections);
+      ("gc_major_collections", float_of_int t.major_collections);
+      ("gc_compactions", float_of_int t.compactions);
+    ]
+end
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -557,6 +636,8 @@ let snapshot_json s =
       ("cache_misses", Json.Int s.cache_misses);
       ("memo_hits", Json.Int s.memo_hits);
       ("memo_misses", Json.Int s.memo_misses);
+      ("reorder_swaps", Json.Int s.reorder_swaps);
+      ("sift_passes", Json.Int s.sift_passes);
       ("peak_nodes", Json.Int s.peak_nodes);
       ("cache_hit_rate", Json.Float (hit_rate s));
     ]

@@ -15,6 +15,8 @@ module Counters : sig
     mutable cache_misses : int;  (** ite computed-table misses *)
     mutable memo_hits : int;  (** exists/compose/restrict memo hits *)
     mutable memo_misses : int;  (** exists/compose/restrict memo misses *)
+    mutable reorder_swaps : int;  (** adjacent-level swaps executed *)
+    mutable sift_passes : int;  (** sifting passes over the order *)
   }
 
   val create : unit -> t
@@ -29,6 +31,8 @@ type snapshot = {
   cache_misses : int;
   memo_hits : int;
   memo_misses : int;
+  reorder_swaps : int;
+  sift_passes : int;
   peak_nodes : int;
 }
 
@@ -39,6 +43,11 @@ val add : snapshot -> snapshot -> snapshot
 (** Combine snapshots of distinct managers/domains: monotone counters
     sum; [peak_nodes] sums too (per-table peaks of concurrently live
     tables — an upper bound on the combined simultaneous population). *)
+
+val snapshot_delta : before:snapshot -> after:snapshot -> snapshot
+(** Per-run counters of a manager that outlives the run (per-domain
+    manager reuse): all fields subtract, including [peak_nodes], which
+    for a reused manager means the run's own node allocation. *)
 
 val hit_rate : snapshot -> float
 (** Combined computed-table and memo hit rate in [0, 1]; [0.] when no
@@ -82,6 +91,26 @@ type engine_run = {
   kern : kernel_snapshot;  (** logic-kernel counters (HASH engine work) *)
   extra : (string * float) list;  (** engine-specific scalars *)
 }
+
+(** [Gc.quick_stat] deltas bracketing a bench cell, reported as [extra]
+    fields ([gc_minor_words], [gc_major_words], [gc_compactions], …) so
+    GC pressure is machine-readable per row. *)
+module Gcstats : sig
+  type t = {
+    minor_words : float;
+    major_words : float;
+    promoted_words : float;
+    minor_collections : int;
+    major_collections : int;
+    compactions : int;
+  }
+
+  val now : unit -> t
+  val delta : before:t -> after:t -> t
+
+  val extras : t -> (string * float) list
+  (** Render a delta as [engine_run.extra] fields. *)
+end
 
 (** Minimal JSON tree and compact emitter (strings are escaped; NaN and
     infinities serialise as [null]; finite floats print with enough

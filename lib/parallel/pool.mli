@@ -37,6 +37,14 @@ val create : ?jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs] worker domains ([jobs <= 1]: none;
     default [Domain.recommended_domain_count ()]). *)
 
+val register_pre_spawn : (unit -> unit) -> unit
+(** Register extra snapshot work to run just before a pool of size [> 1]
+    spawns its workers (after [Logic.Domain_state.prepare_spawn], in
+    registration order).  Higher layers use this to freeze shared
+    read-only state — e.g. the engines layer re-freezes the BDD base its
+    per-domain managers are seeded from — without this module depending
+    on them. *)
+
 val size : t -> int
 (** The configured number of jobs (1 = inline/sequential). *)
 

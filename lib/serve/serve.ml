@@ -303,7 +303,9 @@ let run_and_respond t (req : request) circuit keyfp ~deadline ~t0 =
       | Maximal -> Cut.maximal circuit
       | Gates gs -> Cut.of_gates circuit gs
     in
-    let budget = { Engines.Common.deadline; max_bdd_nodes = 20_000_000 } in
+    let budget =
+      { Engines.Common.deadline; max_bdd_nodes = 20_000_000; bdd_base = 0 }
+    in
     let step = Hash.Synthesis.retime ~budget req.level circuit cut in
     let e =
       {

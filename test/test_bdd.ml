@@ -289,6 +289,64 @@ let test_size () =
   Alcotest.(check int) "terminal size" 0 (Bdd.size m (Bdd.one m));
   Alcotest.(check int) "var size" 1 (Bdd.size m (Bdd.var m 0))
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic reordering and freeze/share                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Node ids denote functions, so any amount of adjacent-level swapping
+   and sifting must leave every previously returned id evaluating
+   exactly as before — and the manager canonical (rebuilding the
+   expression finds the same node). *)
+let prop_reorder_semantics =
+  QCheck.Test.make ~count:60
+    ~name:"swap/sift preserve semantics and canonicity"
+    (QCheck.make QCheck.Gen.(pair (gen_expr nvars) (int_bound 1000)))
+    (fun (e, seed) ->
+      let m = Bdd.manager () in
+      Bdd.set_reorder m Bdd.Off;
+      let b = build m e in
+      let st = Random.State.make [| seed; 0x51f7 |] in
+      let nv = Bdd.n_vars m in
+      if nv >= 2 then
+        for _ = 1 to 30 do
+          Bdd.swap_adjacent m (Random.State.int st (nv - 1))
+        done;
+      Bdd.sift m;
+      let b2 = build m e in
+      Bdd.equal b b2 && all_envs (fun env -> Bdd.eval m b env = eval env e))
+
+(* The same property through the automatic trigger: a manager in [Sift]
+   mode reorders whenever it pleases mid-operation, and the caller must
+   not be able to tell (except through the counters). *)
+let prop_auto_sift_semantics =
+  QCheck.Test.make ~count:40 ~name:"auto sift mode is semantically invisible"
+    (QCheck.make (gen_expr nvars)) (fun e ->
+      let m = Bdd.manager () in
+      Bdd.set_reorder m Bdd.Sift;
+      let b = build m e in
+      all_envs (fun env -> Bdd.eval m b env = eval env e))
+
+(* Freeze/share: ids minted before the freeze keep their meaning in
+   every sharing manager, growth of a sharing manager never disturbs the
+   original, and canonicity survives the copy. *)
+let prop_freeze_share =
+  QCheck.Test.make ~count:60
+    ~name:"freeze/share keep node meanings across managers"
+    (QCheck.make QCheck.Gen.(pair (gen_expr nvars) (gen_expr nvars)))
+    (fun (e1, e2) ->
+      let m = Bdd.manager () in
+      Bdd.set_reorder m Bdd.Off;
+      let b1 = build m e1 in
+      Bdd.sift m;
+      (* the snapshot carries the sifted order *)
+      let m2 = Bdd.share (Bdd.freeze m) in
+      let ok_shared = all_envs (fun env -> Bdd.eval m2 b1 env = eval env e1) in
+      let b2 = build m2 e2 in
+      let ok_grown = all_envs (fun env -> Bdd.eval m2 b2 env = eval env e2) in
+      let ok_orig = all_envs (fun env -> Bdd.eval m b1 env = eval env e1) in
+      let ok_canon = Bdd.equal (build m2 e1) b1 in
+      ok_shared && ok_grown && ok_orig && ok_canon)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_semantics;
@@ -298,6 +356,9 @@ let suite =
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_compose;
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_exists_multi;
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_compose_multi;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_reorder_semantics;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_auto_sift_semantics;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_freeze_share;
     Alcotest.test_case "truth-table exhaustive (3 vars)" `Quick
       test_truth_table_exhaustive;
     Alcotest.test_case "ite normalization & computed table" `Quick

@@ -158,6 +158,32 @@ let test_retime_match_limits () =
   | Engines.Common.Not_equivalent _ | Engines.Common.Timeout ->
       Alcotest.fail "unexpected result"
 
+(* The union-find refiner and the retained list-based reference refiner
+   must reach the same inductive fixpoint from one shared setup — on
+   equivalent (retimed) pairs and on sabotaged ones.  The partitions are
+   compared in canonical form, polarity included. *)
+let prop_eijk_refiners_agree =
+  QCheck.Test.make ~count:20 ~name:"eijk union-find matches list refinement"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let c = Random_circ.generate ~seed ~max_gates:14 () in
+      let agree a b =
+        match
+          Engines.Eijk.refine_both_for_tests
+            (Engines.Common.budget_of_seconds 10.0)
+            a b
+        with
+        | uf, listed -> uf = listed
+        | exception Engines.Common.Out_of_budget -> true
+      in
+      let retimed_ok =
+        match Cut.maximal c with
+        | exception Cut.Invalid_cut _ -> true
+        | cut -> agree c (Forward.retime c cut)
+      in
+      let bad, _ = sabotage c in
+      retimed_ok && agree c bad)
+
 (* All engines agree on random retimed pairs. *)
 let prop_engines_agree =
   QCheck.Test.make ~count:25 ~name:"engines agree on random retimed pairs"
@@ -198,5 +224,6 @@ let suite =
     Alcotest.test_case "retime matcher" `Quick test_retime_match;
     Alcotest.test_case "retime matcher limits" `Quick
       test_retime_match_limits;
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_eijk_refiners_agree;
     QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e11a |]) prop_engines_agree;
   ]
