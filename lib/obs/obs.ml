@@ -326,19 +326,24 @@ module Json = struct
     let fail msg =
       raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos))
     in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-          advance ();
-          skip_ws ()
-      | _ -> ()
+    (* Direct indexing throughout: an earlier [peek : unit -> char
+       option] boxed a [Some] per input byte, so parsing allocated
+       ~20x the input size — pure GC pressure once the serve layer
+       started parsing batched request lines on the warm path. *)
+    let skip_ws () =
+      while
+        !pos < n
+        &&
+        match String.unsafe_get s !pos with
+        | ' ' | '\t' | '\n' | '\r' -> true
+        | _ -> false
+      do
+        incr pos
+      done
     in
     let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> fail (Printf.sprintf "expected '%c'" c)
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
     in
     let literal word v =
       let l = String.length word in
@@ -348,8 +353,25 @@ module Json = struct
       end
       else fail ("expected " ^ word)
     in
-    let parse_string () =
+    let rec parse_string () =
       expect '"';
+      (* Fast path: a string with no escapes (keys, enum-ish values,
+         digests) is one [String.sub], no buffer. *)
+      let start = !pos in
+      let i = ref !pos in
+      while
+        !i < n
+        &&
+        match String.unsafe_get s !i with '"' | '\\' -> false | _ -> true
+      do
+        incr i
+      done;
+      if !i < n && String.unsafe_get s !i = '"' then begin
+        pos := !i + 1;
+        String.sub s start (!i - start)
+      end
+      else parse_string_slow ()
+    and parse_string_slow () =
       let buf = Buffer.create 16 in
       let hex_digit c =
         match c with
@@ -367,56 +389,63 @@ module Json = struct
         done;
         !v
       in
-      let rec go () =
-        match peek () with
-        | None -> fail "unterminated string"
-        | Some '"' -> advance ()
-        | Some '\\' -> (
-            advance ();
-            match peek () with
-            | None -> fail "unterminated escape"
-            | Some c ->
-                advance ();
-                (match c with
-                | '"' -> Buffer.add_char buf '"'
-                | '\\' -> Buffer.add_char buf '\\'
-                | '/' -> Buffer.add_char buf '/'
-                | 'n' -> Buffer.add_char buf '\n'
-                | 'r' -> Buffer.add_char buf '\r'
-                | 't' -> Buffer.add_char buf '\t'
-                | 'b' -> Buffer.add_char buf '\b'
-                | 'f' -> Buffer.add_char buf '\012'
-                | 'u' ->
-                    (* Decode to UTF-8, pairing surrogates, so that
-                       write -> parse is lossless for any scalar value. *)
-                    let code = read_hex4 () in
-                    if code >= 0xd800 && code <= 0xdbff then begin
-                      if
-                        not
-                          (!pos + 2 <= n
-                          && s.[!pos] = '\\'
-                          && s.[!pos + 1] = 'u')
-                      then fail "unpaired high surrogate";
-                      pos := !pos + 2;
-                      let lo = read_hex4 () in
-                      if lo < 0xdc00 || lo > 0xdfff then
-                        fail "unpaired high surrogate";
-                      let u =
-                        0x10000 + ((code - 0xd800) lsl 10) + (lo - 0xdc00)
-                      in
-                      Buffer.add_utf_8_uchar buf (Uchar.of_int u)
-                    end
-                    else if code >= 0xdc00 && code <= 0xdfff then
-                      fail "unpaired low surrogate"
-                    else Buffer.add_utf_8_uchar buf (Uchar.of_int code)
-                | _ -> fail "unknown escape");
-                go ())
-        | Some c ->
-            advance ();
-            Buffer.add_char buf c;
-            go ()
+      (* Scan runs of plain characters and copy them in one
+         [add_substring] — escapes are rare in real payloads (BLIF
+         bodies are mostly printable with a ['\n'] every line), so the
+         common case is a handful of memcpys rather than a per-char
+         loop. *)
+      let rec go start =
+        if !pos >= n then fail "unterminated string"
+        else
+          match String.unsafe_get s !pos with
+          | '"' ->
+              Buffer.add_substring buf s start (!pos - start);
+              incr pos
+          | '\\' ->
+              Buffer.add_substring buf s start (!pos - start);
+              incr pos;
+              if !pos >= n then fail "unterminated escape";
+              let c = s.[!pos] in
+              incr pos;
+              (match c with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | '/' -> Buffer.add_char buf '/'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'b' -> Buffer.add_char buf '\b'
+              | 'f' -> Buffer.add_char buf '\012'
+              | 'u' ->
+                  (* Decode to UTF-8, pairing surrogates, so that
+                     write -> parse is lossless for any scalar value. *)
+                  let code = read_hex4 () in
+                  if code >= 0xd800 && code <= 0xdbff then begin
+                    if
+                      not
+                        (!pos + 2 <= n
+                        && s.[!pos] = '\\'
+                        && s.[!pos + 1] = 'u')
+                    then fail "unpaired high surrogate";
+                    pos := !pos + 2;
+                    let lo = read_hex4 () in
+                    if lo < 0xdc00 || lo > 0xdfff then
+                      fail "unpaired high surrogate";
+                    let u =
+                      0x10000 + ((code - 0xd800) lsl 10) + (lo - 0xdc00)
+                    in
+                    Buffer.add_utf_8_uchar buf (Uchar.of_int u)
+                  end
+                  else if code >= 0xdc00 && code <= 0xdfff then
+                    fail "unpaired low surrogate"
+                  else Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+              | _ -> fail "unknown escape");
+              go !pos
+          | _ ->
+              incr pos;
+              go start
       in
-      go ();
+      go !pos;
       Buffer.contents buf
     in
     let parse_number () =
@@ -425,8 +454,8 @@ module Json = struct
         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
         | _ -> false
       in
-      while (match peek () with Some c -> is_num_char c | None -> false) do
-        advance ()
+      while !pos < n && is_num_char (String.unsafe_get s !pos) do
+        incr pos
       done;
       let tok = String.sub s start (!pos - start) in
       match int_of_string_opt tok with
@@ -438,61 +467,66 @@ module Json = struct
     in
     let rec parse_value () =
       skip_ws ();
-      match peek () with
-      | None -> fail "unexpected end of input"
-      | Some '{' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some '}' then begin
-            advance ();
-            Obj []
-          end
-          else begin
-            let rec fields acc =
-              skip_ws ();
-              let k = parse_string () in
-              skip_ws ();
-              expect ':';
-              let v = parse_value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' ->
-                  advance ();
-                  fields ((k, v) :: acc)
-              | Some '}' ->
-                  advance ();
-                  List.rev ((k, v) :: acc)
-              | _ -> fail "expected ',' or '}'"
-            in
-            Obj (fields [])
-          end
-      | Some '[' ->
-          advance ();
-          skip_ws ();
-          if peek () = Some ']' then begin
-            advance ();
-            List []
-          end
-          else begin
-            let rec elems acc =
-              let v = parse_value () in
-              skip_ws ();
-              match peek () with
-              | Some ',' ->
-                  advance ();
-                  elems (v :: acc)
-              | Some ']' ->
-                  advance ();
-                  List.rev (v :: acc)
-              | _ -> fail "expected ',' or ']'"
-            in
-            List (elems [])
-          end
-      | Some '"' -> Str (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> parse_number ()
+      if !pos >= n then fail "unexpected end of input"
+      else
+        match String.unsafe_get s !pos with
+        | '{' ->
+            incr pos;
+            skip_ws ();
+            if !pos < n && s.[!pos] = '}' then begin
+              incr pos;
+              Obj []
+            end
+            else begin
+              let rec fields acc =
+                skip_ws ();
+                let k = parse_string () in
+                skip_ws ();
+                expect ':';
+                let v = parse_value () in
+                skip_ws ();
+                if !pos >= n then fail "expected ',' or '}'"
+                else
+                  match s.[!pos] with
+                  | ',' ->
+                      incr pos;
+                      fields ((k, v) :: acc)
+                  | '}' ->
+                      incr pos;
+                      List.rev ((k, v) :: acc)
+                  | _ -> fail "expected ',' or '}'"
+              in
+              Obj (fields [])
+            end
+        | '[' ->
+            incr pos;
+            skip_ws ();
+            if !pos < n && s.[!pos] = ']' then begin
+              incr pos;
+              List []
+            end
+            else begin
+              let rec elems acc =
+                let v = parse_value () in
+                skip_ws ();
+                if !pos >= n then fail "expected ',' or ']'"
+                else
+                  match s.[!pos] with
+                  | ',' ->
+                      incr pos;
+                      elems (v :: acc)
+                  | ']' ->
+                      incr pos;
+                      List.rev (v :: acc)
+                  | _ -> fail "expected ',' or ']'"
+              in
+              List (elems [])
+            end
+        | '"' -> Str (parse_string ())
+        | 't' -> literal "true" (Bool true)
+        | 'f' -> literal "false" (Bool false)
+        | 'n' -> literal "null" Null
+        | _ -> parse_number ()
     in
     let v = parse_value () in
     skip_ws ();
@@ -599,30 +633,77 @@ end
 (* Proof-cache counters                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* The serve layer shards its proof cache, so these counters are updated
+   from many threads and read (for every OK response) without any lock:
+   each field is an [Atomic.t], one instance lives per shard, and a
+   response aggregates the shards into one [snapshot] in a single
+   lock-free pass.  [entries] is a gauge (current population of the
+   shard's fingerprint cache), not a monotone counter; it still sums
+   across shards because the shards partition the key space. *)
 module Cache = struct
   type t = {
-    mutable hits : int;
-    mutable misses : int;
-    mutable evictions : int;
-    mutable insertions : int;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+    evictions : int Atomic.t;
+    insertions : int Atomic.t;
+    entries : int Atomic.t;
   }
 
-  let create () = { hits = 0; misses = 0; evictions = 0; insertions = 0 }
+  let create () =
+    {
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      evictions = Atomic.make 0;
+      insertions = Atomic.make 0;
+      entries = Atomic.make 0;
+    }
 
   let reset t =
-    t.hits <- 0;
-    t.misses <- 0;
-    t.evictions <- 0;
-    t.insertions <- 0
+    Atomic.set t.hits 0;
+    Atomic.set t.misses 0;
+    Atomic.set t.evictions 0;
+    Atomic.set t.insertions 0;
+    Atomic.set t.entries 0
 
-  let to_json ?(entries = 0) t =
+  type snapshot = {
+    hits : int;
+    misses : int;
+    evictions : int;
+    insertions : int;
+    entries : int;
+  }
+
+  let snapshot (t : t) : snapshot =
+    {
+      hits = Atomic.get t.hits;
+      misses = Atomic.get t.misses;
+      evictions = Atomic.get t.evictions;
+      insertions = Atomic.get t.insertions;
+      entries = Atomic.get t.entries;
+    }
+
+  let empty =
+    { hits = 0; misses = 0; evictions = 0; insertions = 0; entries = 0 }
+
+  let add a b =
+    {
+      hits = a.hits + b.hits;
+      misses = a.misses + b.misses;
+      evictions = a.evictions + b.evictions;
+      insertions = a.insertions + b.insertions;
+      entries = a.entries + b.entries;
+    }
+
+  let total ts = Array.fold_left (fun acc t -> add acc (snapshot t)) empty ts
+
+  let snapshot_json (s : snapshot) =
     Json.Obj
       [
-        ("hits", Json.Int t.hits);
-        ("misses", Json.Int t.misses);
-        ("evictions", Json.Int t.evictions);
-        ("insertions", Json.Int t.insertions);
-        ("entries", Json.Int entries);
+        ("hits", Json.Int s.hits);
+        ("misses", Json.Int s.misses);
+        ("evictions", Json.Int s.evictions);
+        ("insertions", Json.Int s.insertions);
+        ("entries", Json.Int s.entries);
       ]
 end
 

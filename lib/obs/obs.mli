@@ -145,21 +145,40 @@ end
 
 (** Hit/miss/eviction counters of the retiming server's fingerprint-keyed
     proof cache (lib/serve updates them; responses and BENCH_serve rows
-    carry them). *)
+    carry them).  One instance lives per cache shard; the fields are
+    atomic so shards can bump them under their own lock while responses
+    aggregate every shard without taking any. *)
 module Cache : sig
   type t = {
-    mutable hits : int;  (** requests answered from the cache *)
-    mutable misses : int;  (** requests that ran the kernel *)
-    mutable evictions : int;  (** LRU entries dropped at capacity *)
-    mutable insertions : int;  (** entries stored after a miss *)
+    hits : int Atomic.t;  (** requests answered from the cache *)
+    misses : int Atomic.t;  (** requests that ran the kernel *)
+    evictions : int Atomic.t;
+        (** LRU entries dropped at capacity, at either cache level *)
+    insertions : int Atomic.t;  (** fingerprint entries stored after a miss *)
+    entries : int Atomic.t;
+        (** gauge: current fingerprint-cache population of the shard *)
   }
 
   val create : unit -> t
   val reset : t -> unit
 
-  val to_json : ?entries:int -> t -> Json.t
-  (** [entries] is the current cache population (the counters alone
-      cannot tell it once eviction starts). *)
+  (** A plain one-pass copy of the counters; what responses and [stats]
+      report. *)
+  type snapshot = {
+    hits : int;
+    misses : int;
+    evictions : int;
+    insertions : int;
+    entries : int;
+  }
+
+  val snapshot : t -> snapshot
+
+  val total : t array -> snapshot
+  (** Aggregate the per-shard counters, lock-free.  Monotone counters
+      sum; [entries] sums too, because shards partition the key space. *)
+
+  val snapshot_json : snapshot -> Json.t
 end
 
 val snapshot_json : snapshot -> Json.t

@@ -48,6 +48,14 @@ type t = {
   q : job Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  (* Serializes inline execution when [size <= 1].  The serve layer's
+     connection-handler threads all live in one domain and share its
+     kernel DLS state (intern tables, memo caches); letting two of them
+     interleave kernel work at allocation points would corrupt it.  A
+     thunk submitted to an inline pool from inside another inline thunk
+     of the same pool would deadlock here — no caller does that (thunks
+     are leaf computations), and the .mli states the restriction. *)
+  inline_mu : Mutex.t;
 }
 
 let size pool = pool.size
@@ -165,6 +173,7 @@ let create ?jobs () =
       q = Queue.create ();
       closed = false;
       workers = [];
+      inline_mu = Mutex.create ();
     }
   in
   if size > 1 then begin
@@ -185,12 +194,17 @@ let submit ?deadline pool thunk =
     }
   in
   if pool.size <= 1 then begin
-    (* inline pool: same contract as the queued path *)
+    (* inline pool: same contract as the queued path.  Concurrent
+       submitters (connection-handler threads) take turns — one kernel
+       computation at a time, exactly like a single worker domain. *)
     Mutex.lock pool.q_mu;
     let closed = pool.closed in
     Mutex.unlock pool.q_mu;
     if closed then raise Shutdown;
-    run_job fut
+    Mutex.lock pool.inline_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool.inline_mu)
+      (fun () -> run_job fut)
   end
   else begin
     Mutex.lock pool.q_mu;

@@ -9,7 +9,13 @@
 
     A pool of size [<= 1] spawns no domains: {!submit} runs each thunk
     inline in the calling domain, in submission order — bit-for-bit the
-    sequential behaviour ([BENCH_JOBS=1]).
+    sequential behaviour ([BENCH_JOBS=1]).  Inline execution is
+    serialized under an internal mutex, so several systhreads of one
+    domain (the serve layer's connection handlers) may submit
+    concurrently without interleaving kernel work in the domain's DLS
+    state.  Consequence: a thunk running on an inline pool must not
+    submit to that same pool — it would deadlock on the inline mutex.
+    Thunks are leaf computations everywhere in this codebase.
 
     Creating a pool of size [> 1] first calls
     [Logic.Domain_state.prepare_spawn], so worker domains inherit every

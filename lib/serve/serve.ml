@@ -1,5 +1,5 @@
 (* Retiming as a service (ROADMAP item 1): a long-lived daemon speaking
-   newline-delimited JSON over stdio or a Unix-domain socket.  Each
+   newline-delimited JSON over stdio, a Unix-domain socket or TCP.  Each
    request carries a BLIF netlist and a cut heuristic; the daemon
    validates at the trust boundary, dispatches the formal step to the
    domain pool with a per-request deadline, and keys a bounded LRU proof
@@ -19,9 +19,25 @@
    gate list refers to signal indices of one particular representation
    and is deliberately recomputed every time.
 
+   Both levels are split into N shards keyed by a hash of the digest,
+   each shard with its own mutex, so concurrent connections don't
+   serialize on one global lock; counters are per-shard atomics
+   ({!Obs.Cache}), aggregated lock-free into every response.
+
    The cache stores only strings (the retimed BLIF and the printed
    theorem), so entries are safe to share across OCaml domains — terms
-   never flow between domains, per the pool's discipline. *)
+   never flow between domains, per the pool's discipline.
+
+   Connection handling: one accept loop (a systhread) per listener
+   hands each connection to its own handler thread, bounded by
+   [max_connections]; handlers block on socket IO and the cache locks
+   only, while kernel work goes through the shared domain pool
+   (lib/parallel), so many light connections cost threads, not domains.
+   Responses within a connection are written in request order by a
+   per-connection writer thread.  [request_stop] (async-signal-safe: an
+   atomic flag plus a self-pipe write) wakes the accept loop;
+   [stop]/[await] then close the listening socket, unlink the Unix
+   path and drain in-flight connections. *)
 
 (* ------------------------------------------------------------------ *)
 (* Bounded LRU table (caller locks)                                     *)
@@ -141,6 +157,11 @@ type request = {
   level : Hash.Embed.level;
   cut : cut_spec;
   deadline_s : float;
+  echo : bool;
+      (* [false] elides the retimed BLIF and theorem text from the ok
+         response — the proof still ran (or was found cached); fleet
+         drivers that only want status/stats/digest skip paying the
+         multi-KB proof echo per circuit *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -153,39 +174,97 @@ type entry = {
   e_theorem : string;
   e_gates : int * int;  (* before, after *)
   e_ffs : int * int;
+  e_fields : string;
+      (* the constant middle of the ok response
+         (["circuit":…,"retimed":…,"blif":…,"theorem":…]), JSON-escaped
+         once when the entry is built: the retimed netlist and theorem
+         dominate the response bytes, and re-escaping them on every hit
+         would cost more than the hit itself *)
+  e_terse : string;
+      (* the same leading ["circuit":…,"retimed":…] fragment without the
+         proof echo, for [echo:false] responses *)
+}
+
+(* One shard of the two-level cache.  [sh_mu] guards the LRU structures
+   only; the counters are atomics, bumped while the lock is held and
+   read lock-free by response rendering and [stats]. *)
+type shard = {
+  sh_mu : Mutex.t;
+  sh_cache : entry Lru.t;  (* L2: fingerprint-keyed *)
+  (* L1: level-tagged raw BLIF bytes -> (L2 digest, entry).  The key is
+     the request text itself — the table's key equality is the
+     byte-compare, so no hashing of the payload happens beyond
+     [Hashtbl.hash]'s bounded prefix, and a hash collision can only
+     cause a bucket scan, never a wrong answer. *)
+  sh_text : (string * entry) Lru.t;
+  sh_counters : Obs.Cache.t;
 }
 
 type t = {
   pool : Parallel.Pool.t;
-  mu : Mutex.t;
-  cache : entry Lru.t;
-  (* L1: digest of the raw BLIF bytes -> (those bytes, L2 digest, entry).
-     The stored bytes are compared on hit, so an MD5 collision on the
-     request text can only cause a miss. *)
-  text_cache : (string * string * entry) Lru.t;
-  counters : Obs.Cache.t;
+  shards : shard array;
   default_deadline_s : float;
 }
 
-let create ?(jobs = 1) ?(cache_capacity = 64) ?(default_deadline_s = 30.0) ()
-    =
+let create ?(jobs = 1) ?(cache_capacity = 64) ?(shards = 8)
+    ?(default_deadline_s = 30.0) () =
+  let n = max 1 shards in
+  (* each shard gets its proportional slice (at least 1 entry), so total
+     capacity is ~cache_capacity, never less *)
+  let per_shard = (max 1 cache_capacity + n - 1) / n in
   {
     pool = Parallel.Pool.create ~jobs ();
-    mu = Mutex.create ();
-    cache = Lru.create cache_capacity;
-    text_cache = Lru.create cache_capacity;
-    counters = Obs.Cache.create ();
+    shards =
+      Array.init n (fun _ ->
+          {
+            sh_mu = Mutex.create ();
+            sh_cache = Lru.create per_shard;
+            sh_text = Lru.create per_shard;
+            sh_counters = Obs.Cache.create ();
+          });
     default_deadline_s;
   }
 
 let shutdown t = Parallel.Pool.shutdown t.pool
 
-let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+let shard_for t key =
+  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let locked sh f =
+  Mutex.lock sh.sh_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.sh_mu) f
+
+(* One lock-free pass over the per-shard atomics. *)
+(* One pass over the shards, no intermediate snapshots: this runs once
+   per response. *)
+let counters_total t =
+  let hits = ref 0
+  and misses = ref 0
+  and evictions = ref 0
+  and insertions = ref 0
+  and entries = ref 0 in
+  Array.iter
+    (fun sh ->
+      let c = sh.sh_counters in
+      hits := !hits + Atomic.get c.Obs.Cache.hits;
+      misses := !misses + Atomic.get c.Obs.Cache.misses;
+      evictions := !evictions + Atomic.get c.Obs.Cache.evictions;
+      insertions := !insertions + Atomic.get c.Obs.Cache.insertions;
+      entries := !entries + Atomic.get c.Obs.Cache.entries)
+    t.shards;
+  {
+    Obs.Cache.hits = !hits;
+    misses = !misses;
+    evictions = !evictions;
+    insertions = !insertions;
+    entries = !entries;
+  }
 
 let stats t =
-  locked t (fun () -> Obs.Cache.to_json ~entries:(Lru.length t.cache) t.counters)
+  match Obs.Cache.snapshot_json (counters_total t) with
+  | Obs.Json.Obj fields ->
+      Obs.Json.Obj (("shards", Obs.Json.Int (Array.length t.shards)) :: fields)
+  | j -> j
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                      *)
@@ -225,13 +304,21 @@ let parse_request t json : (request, string) result =
             | Some (Float f) -> Ok f
             | Some _ -> Error "bad field: deadline_s (expected a number)"
           in
-          match (level_r, cut_r, deadline_r) with
-          | Ok level, Ok cut, Ok dl ->
+          let echo_r =
+            match member "echo" json with
+            | None -> Ok true
+            | Some (Bool b) -> Ok b
+            | Some _ -> Error "bad field: echo (expected a boolean)"
+          in
+          match (level_r, cut_r, deadline_r, echo_r) with
+          | Ok level, Ok cut, Ok dl, Ok echo ->
               if not (dl > 0.0) then
                 Error "bad field: deadline_s (must be positive)"
               else
-                Ok { id; blif; level; cut; deadline_s = min dl 3600.0 }
-          | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+                Ok { id; blif; level; cut; deadline_s = min dl 3600.0; echo }
+          | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
+          | _, _, _, Error e ->
+              Error e)
       | Some _ -> Error "bad field: blif (expected a string)")
   | _ -> Error "request is not a JSON object"
 
@@ -242,7 +329,26 @@ let parse_request t json : (request, string) result =
 let base_fields id =
   match id with Some id -> [ ("id", id) ] | None -> []
 
-let error_response ?id code msg =
+(* A response stays structural until the moment it is written: a warm
+   hit over a socket then costs no response-sized allocation at all —
+   the writer streams the entry's pre-rendered fields straight into the
+   channel buffer.  (Rendering per hit was the warm-path bottleneck:
+   the theorem text makes responses ~20KB, far above the major-heap
+   threshold, and GC dominated.) *)
+type response =
+  | Rendered of string
+  | Ok_body of {
+      ok_id : Obs.Json.t option;
+      ok_e : entry;
+      ok_echo : bool;
+      ok_hit : bool;
+      ok_cacheable : bool;
+      ok_digest : string option;  (* hex — needs no JSON escaping *)
+      ok_snap : Obs.Cache.snapshot;
+      ok_wall : float;
+    }
+
+let error_line ?id code msg =
   Obs.Json.to_string
     (Obs.Json.Obj
        (base_fields id
@@ -256,42 +362,146 @@ let error_response ?id code msg =
                ] );
          ]))
 
-let cache_json t ~hit ~cacheable ~digest =
-  let counters_json =
-    locked t (fun () ->
-        Obs.Cache.to_json ~entries:(Lru.length t.cache) t.counters)
-  in
-  let extra =
-    [ ("hit", Obs.Json.Bool hit); ("cacheable", Obs.Json.Bool cacheable) ]
-    @ match digest with
-      | Some d -> [ ("digest", Obs.Json.Str d) ]
-      | None -> []
-  in
-  match counters_json with
-  | Obs.Json.Obj fields -> Obs.Json.Obj (extra @ fields)
-  | j -> j
+let error_response ?id code msg = Rendered (error_line ?id code msg)
 
-let ok_response t ~id ~hit ~cacheable ~digest ~(e : entry) ~wall_s =
-  let gb, ga = e.e_gates and fb, fa = e.e_ffs in
+(* Byte-identical to [Obs.Json.to_string (Float f)] (shortest decimal
+   that reads back exactly), inlined because the warm path emits one
+   per response. *)
+let json_float f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    "null"
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* [wall_s] is a microsecond-granularity measurement ([gettimeofday]),
+   so it is emitted as fixed six-decimal seconds with integer
+   arithmetic — [Printf "%.15g"] cost ~0.5us per response, a real
+   fraction of a warm hit.  Out-of-range values fall back to the exact
+   renderer. *)
+let wall_string w =
+  if w >= 0.0 && w < 1e6 then begin
+    let us = int_of_float ((w *. 1e6) +. 0.5) in
+    let sec = us / 1_000_000 and frac = us mod 1_000_000 in
+    let fs = string_of_int frac in
+    let pad = String.make (6 - String.length fs) '0' in
+    String.concat "" [ string_of_int sec; "."; pad; fs ]
+  end
+  else json_float w
+
+(* The per-entry constant fields, rendered to JSON fragments (no outer
+   braces) exactly as [Obs.Json.to_string] would emit them inline:
+   the full middle (with the proof echo) and the terse prefix
+   (["circuit":…,"retimed":…] alone). *)
+let render_entry_fields ~blif ~theorem ~gates ~ffs =
+  let gb, ga = gates and fb, fa = ffs in
   let circ g f =
     Obs.Json.Obj [ ("gates", Obs.Json.Int g); ("flipflops", Obs.Json.Int f) ]
   in
-  Obs.Json.to_string
-    (Obs.Json.Obj
-       (base_fields id
-       @ [
-           ("status", Obs.Json.Str "ok");
+  let s =
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [
            ("circuit", circ gb fb);
            ("retimed", circ ga fa);
-           ("blif", Obs.Json.Str e.e_blif);
-           ("theorem", Obs.Json.Str e.e_theorem);
-           ("cache", cache_json t ~hit ~cacheable ~digest);
-           ("wall_s", Obs.Json.Float wall_s);
-         ]))
+           ("blif", Obs.Json.Str blif);
+           ("theorem", Obs.Json.Str theorem);
+         ])
+  in
+  let t =
+    Obs.Json.to_string
+      (Obs.Json.Obj [ ("circuit", circ gb fb); ("retimed", circ ga fa) ])
+  in
+  ( String.sub s 1 (String.length s - 2),
+    String.sub t 1 (String.length t - 2) )
+
+let ok_response t ~id ~echo ~hit ~cacheable ~digest ~(e : entry) ~wall_s =
+  (* The counter snapshot is taken here, lock-free, after this
+     request's own bumps landed — rendering never touches a shard
+     mutex, and the response sees one consistent aggregate. *)
+  Ok_body
+    {
+      ok_id = id;
+      ok_e = e;
+      ok_echo = echo;
+      ok_hit = hit;
+      ok_cacheable = cacheable;
+      ok_digest = digest;
+      ok_snap = counters_total t;
+      ok_wall = wall_s;
+    }
+
+(* Feed the pieces of a response, in emission order, to [f] — shared by
+   the string renderer and the channel writer so the two spellings
+   cannot drift.  Everything is emitted from scalars: the warm path
+   builds no intermediate JSON tree, and the only response-sized string
+   it touches ([e_fields]) is the one shared by the cache entry. *)
+let response_pieces r (f : string -> unit) =
+  match r with
+  | Rendered s -> f s
+  | Ok_body
+      { ok_id; ok_e; ok_echo; ok_hit; ok_cacheable; ok_digest; ok_snap; ok_wall }
+    ->
+      let b tag = f (if tag then "true" else "false") in
+      let i n = f (string_of_int n) in
+      f "{";
+      (match ok_id with
+      | Some id ->
+          f "\"id\":";
+          f (Obs.Json.to_string id);
+          f ","
+      | None -> ());
+      f "\"status\":\"ok\",";
+      if ok_echo then f ok_e.e_fields else f ok_e.e_terse;
+      f ",\"cache\":{\"hit\":";
+      b ok_hit;
+      f ",\"cacheable\":";
+      b ok_cacheable;
+      (match ok_digest with
+      | Some d ->
+          f ",\"digest\":\"";
+          f d;
+          f "\""
+      | None -> ());
+      f ",\"hits\":";
+      i ok_snap.Obs.Cache.hits;
+      f ",\"misses\":";
+      i ok_snap.Obs.Cache.misses;
+      f ",\"evictions\":";
+      i ok_snap.Obs.Cache.evictions;
+      f ",\"insertions\":";
+      i ok_snap.Obs.Cache.insertions;
+      f ",\"entries\":";
+      i ok_snap.Obs.Cache.entries;
+      f "},\"wall_s\":";
+      f (wall_string ok_wall);
+      f "}"
+
+let render_response = function
+  | Rendered s -> s
+  | Ok_body { ok_e; ok_echo; _ } as r ->
+      let cap =
+        if ok_echo then String.length ok_e.e_fields + 256 else 320
+      in
+      let buf = Buffer.create cap in
+      response_pieces r (Buffer.add_string buf);
+      Buffer.contents buf
+
 
 (* ------------------------------------------------------------------ *)
 (* The request pipeline                                                 *)
 (* ------------------------------------------------------------------ *)
+
+let bump c = Atomic.incr c
+let bump_by c n = if n <> 0 then ignore (Atomic.fetch_and_add c n)
+
+(* Store the spelling of a cacheable request in the text shard, counting
+   the L1 eviction if the insert displaced an entry. *)
+let remember_text t tkey digest e =
+  let tsh = shard_for t tkey in
+  locked tsh (fun () ->
+      let evicted = Lru.add tsh.sh_text tkey (digest, e) in
+      bump_by tsh.sh_counters.Obs.Cache.evictions evicted)
 
 (* Kernel work, run inside a pool task.  [keyfp] is present for cacheable
    (maximal-cut) requests: the worker inserts the finished entry itself,
@@ -307,36 +517,45 @@ let run_and_respond t (req : request) circuit keyfp ~deadline ~t0 =
       { Engines.Common.deadline; max_bdd_nodes = 20_000_000; bdd_base = 0 }
     in
     let step = Hash.Synthesis.retime ~budget req.level circuit cut in
+    let blif = Blif.to_string step.Hash.Synthesis.after in
+    let theorem = Logic.Kernel.string_of_thm step.Hash.Synthesis.theorem in
+    let gates =
+      ( Circuit.gate_count circuit,
+        Circuit.gate_count step.Hash.Synthesis.after )
+    in
+    let ffs =
+      ( Circuit.flipflop_count circuit,
+        Circuit.flipflop_count step.Hash.Synthesis.after )
+    in
+    let fields, terse = render_entry_fields ~blif ~theorem ~gates ~ffs in
     let e =
       {
         e_canon = "";
-        e_blif = Blif.to_string step.Hash.Synthesis.after;
-        e_theorem = Logic.Kernel.string_of_thm step.Hash.Synthesis.theorem;
-        e_gates =
-          ( Circuit.gate_count circuit,
-            Circuit.gate_count step.Hash.Synthesis.after );
-        e_ffs =
-          ( Circuit.flipflop_count circuit,
-            Circuit.flipflop_count step.Hash.Synthesis.after );
+        e_blif = blif;
+        e_theorem = theorem;
+        e_gates = gates;
+        e_ffs = ffs;
+        e_fields = fields;
+        e_terse = terse;
       }
     in
     match keyfp with
     | Some (key, fp, tkey) ->
         let e = { e with e_canon = Fingerprint.canon fp } in
-        locked t (fun () ->
-            let evicted = Lru.add t.cache key e in
-            ignore
-              (Lru.add t.text_cache tkey (req.blif, Fingerprint.digest fp, e));
-            t.counters.Obs.Cache.insertions <-
-              t.counters.Obs.Cache.insertions + 1;
-            t.counters.Obs.Cache.evictions <-
-              t.counters.Obs.Cache.evictions + evicted);
-        ok_response t ~id:req.id ~hit:false ~cacheable:true
+        let fsh = shard_for t key in
+        locked fsh (fun () ->
+            let evicted = Lru.add fsh.sh_cache key e in
+            bump fsh.sh_counters.Obs.Cache.insertions;
+            bump_by fsh.sh_counters.Obs.Cache.evictions evicted;
+            Atomic.set fsh.sh_counters.Obs.Cache.entries
+              (Lru.length fsh.sh_cache));
+        remember_text t tkey (Fingerprint.digest fp) e;
+        ok_response t ~id:req.id ~echo:req.echo ~hit:false ~cacheable:true
           ~digest:(Some (Fingerprint.digest fp))
           ~e
           ~wall_s:(Unix.gettimeofday () -. t0)
     | None ->
-        ok_response t ~id:req.id ~hit:false ~cacheable:false ~digest:None ~e
+        ok_response t ~id:req.id ~echo:req.echo ~hit:false ~cacheable:false ~digest:None ~e
           ~wall_s:(Unix.gettimeofday () -. t0)
   with e ->
     let code, msg = error_of_exn e in
@@ -347,131 +566,612 @@ let run_and_respond t (req : request) circuit keyfp ~deadline ~t0 =
 (* ------------------------------------------------------------------ *)
 
 type pending =
-  | Immediate of string
-  | Queued of Obs.Json.t option * string Parallel.Pool.future
+  | Immediate of response
+  | Queued of Obs.Json.t option * response Parallel.Pool.future
+  | Batch of pending list
 
 (* The front door runs in the calling thread: protocol parse, netlist
    parse, validation and the cache lookup.  A hit (or any trust-boundary
    rejection) is answered without touching the pool; only kernel work is
    dispatched. *)
-let submit_line t line =
-  let t0 = Unix.gettimeofday () in
+let submit_request t ~t0 (req : request) =
+  (
+      let deadline = t0 +. req.deadline_s in
+      match
+        match req.cut with
+        | Gates _ ->
+            (* Explicit gate lists name signal indices of this
+               particular representation — never served from (or
+               stored into) the caches. *)
+            let circuit = Blif.of_string req.blif in
+            Circuit.validate circuit;
+            `Run
+              (fun () -> run_and_respond t req circuit None ~deadline ~t0)
+        | Maximal -> (
+            let level_tag =
+              match req.level with
+              | Hash.Embed.Bit_level -> "bit"
+              | Hash.Embed.Rt_level -> "rt"
+            in
+            (* L1: byte-identical repeat?  Answered before the BLIF
+               is even parsed. *)
+            let tkey = level_tag ^ "\x00" ^ req.blif in
+            let tsh = shard_for t tkey in
+            let text_hit =
+              locked tsh (fun () ->
+                  match Lru.find tsh.sh_text tkey with
+                  | Some (digest, e) ->
+                      bump tsh.sh_counters.Obs.Cache.hits;
+                      Some (digest, e)
+                  | None -> None)
+            in
+            match text_hit with
+            | Some (digest, e) ->
+                `Hit
+                  (ok_response t ~id:req.id ~echo:req.echo ~hit:true ~cacheable:true
+                     ~digest:(Some digest) ~e
+                     ~wall_s:(Unix.gettimeofday () -. t0))
+            | None -> (
+                let circuit = Blif.of_string req.blif in
+                let fp = Fingerprint.of_circuit circuit in
+                let key = Fingerprint.digest fp ^ "/" ^ level_tag in
+                let fsh = shard_for t key in
+                let cached =
+                  locked fsh (fun () ->
+                      match Lru.find fsh.sh_cache key with
+                      | Some e
+                        when String.equal e.e_canon (Fingerprint.canon fp)
+                        ->
+                          bump fsh.sh_counters.Obs.Cache.hits;
+                          Some e
+                      | Some _ | None ->
+                          bump fsh.sh_counters.Obs.Cache.misses;
+                          None)
+                in
+                match cached with
+                | Some e ->
+                    (* remember the spelling for next time (after
+                       releasing the fingerprint shard — L1 lives in
+                       its own shard and locks never nest) *)
+                    remember_text t tkey (Fingerprint.digest fp) e;
+                    `Hit
+                      (ok_response t ~id:req.id ~echo:req.echo ~hit:true ~cacheable:true
+                         ~digest:(Some (Fingerprint.digest fp))
+                         ~e
+                         ~wall_s:(Unix.gettimeofday () -. t0))
+                | None ->
+                    `Run
+                      (fun () ->
+                        run_and_respond t req circuit
+                          (Some (key, fp, tkey))
+                          ~deadline ~t0)))
+      with
+      | `Hit resp -> Immediate resp
+      | `Run thunk -> (
+          match Parallel.Pool.submit ~deadline t.pool thunk with
+          | fut -> Queued (req.id, fut)
+          | exception Parallel.Pool.Shutdown ->
+              Immediate
+                (error_response ?id:req.id Shutdown
+                   "server is shutting down"))
+      | exception e ->
+          let code, msg = error_of_exn e in
+          Immediate (error_response ?id:req.id code msg))
+
+let submit_json t ~t0 json =
+  match parse_request t json with
+  | Error msg ->
+      Immediate
+        (error_response ?id:(Obs.Json.member "id" json) Bad_request msg)
+  | Ok req -> submit_request t ~t0 req
+
+(* A {"batch": [...]} line amortizes per-line protocol overhead for
+   fleets of small circuits: one read, one parse, one response write —
+   and the misses inside the batch fan out over the pool concurrently.
+   Items are answered as a JSON array in order, each item succeeding or
+   failing on its own. *)
+let max_batch = 4096
+
+(* ------------------------------------------------------------------ *)
+(* Fast-path request scanner                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A zero-tree scanner for the dominant request shape: a flat object of
+   ["id"] (int), ["blif"] (string), ["level"] ("bit"/"rt") and ["echo"]
+   (bool) members — or a ["batch"] of such objects.  It builds the
+   [request] records directly, skipping the JSON tree that
+   [Obs.Json.parse] allocates per request (the largest single cost left
+   on a warm cache hit).  On anything unusual — other members, other
+   value shapes, [\u] escapes, duplicate members, syntax it is unsure
+   about — it raises [Slow] and the line takes the general parse path.
+   The scanner accepts a strict subset of the lines the parser accepts
+   and builds identical [request] records for them (both feed the same
+   [submit_request]), so it can never change an answer — only skip
+   allocation. *)
+
+exception Slow
+
+(* What the scanner produces per request: the L1 text key is built
+   directly (level tag, NUL, decoded BLIF) so a warm hit never
+   materializes the BLIF as its own string; a miss slices it back out
+   of the key. *)
+type scanned_req = {
+  sq_tkey : string;
+  sq_taglen : int;
+  sq_id : Obs.Json.t option;
+  sq_level : Hash.Embed.level;
+  sq_echo : bool;
+}
+
+type scanned_line =
+  | Scanned_one of scanned_req
+  | Scanned_batch of scanned_req list
+
+let scan_line t line : scanned_line option =
+  let n = String.length line in
+  let pos = ref 0 in
+  let bail () = raise_notrace Slow in
+  let skip_ws () =
+    while
+      !pos < n
+      &&
+      match String.unsafe_get line !pos with
+      | ' ' | '\t' | '\n' | '\r' -> true
+      | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && String.unsafe_get line !pos = c then incr pos else bail ()
+  in
+  (* member name: plain lowercase letters, no escapes; compared in
+     place, no allocation *)
+  let scan_name () =
+    expect '"';
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match String.unsafe_get line !pos with
+      | 'a' .. 'z' | '_' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos < n && String.unsafe_get line !pos = '"' then begin
+      let len = !pos - start in
+      incr pos;
+      (start, len)
+    end
+    else bail ()
+  in
+  let name_eq (start, len) w =
+    String.length w = len
+    &&
+    let rec go i =
+      i = len
+      || String.unsafe_get line (start + i) = String.unsafe_get w i
+         && go (i + 1)
+    in
+    go 0
+  in
+  (* string value: same acceptance as the parser minus [\u] escapes
+     (those bail).  No-escape strings are one [String.sub]; escaped ones
+     decode into an exactly-sized scratch, no growth copies. *)
+  let scan_string () =
+    expect '"';
+    let start = !pos in
+    let i = ref start and esc = ref false in
+    let rec seek () =
+      if !i >= n then bail ()
+      else
+        match String.unsafe_get line !i with
+        | '"' -> ()
+        | '\\' ->
+            esc := true;
+            i := !i + 2;
+            seek ()
+        | _ ->
+            incr i;
+            seek ()
+    in
+    seek ();
+    let stop = !i in
+    pos := stop + 1;
+    if not !esc then String.sub line start (stop - start)
+    else begin
+      let out = Bytes.create (stop - start) in
+      let o = ref 0 and j = ref start in
+      while !j < stop do
+        let c = String.unsafe_get line !j in
+        if c = '\\' then begin
+          (* [seek] jumped escapes in pairs, so the escape char of any
+             backslash in [start, stop) is itself inside the span *)
+          let d =
+            match String.unsafe_get line (!j + 1) with
+            | '"' -> '"'
+            | '\\' -> '\\'
+            | '/' -> '/'
+            | 'b' -> '\b'
+            | 'f' -> '\012'
+            | 'n' -> '\n'
+            | 'r' -> '\r'
+            | 't' -> '\t'
+            | _ -> bail ()
+          in
+          Bytes.unsafe_set out !o d;
+          incr o;
+          j := !j + 2
+        end
+        else begin
+          Bytes.unsafe_set out !o c;
+          incr o;
+          incr j
+        end
+      done;
+      Bytes.sub_string out 0 !o
+    end
+  in
+  (* like [scan_string], but only locates the span: [(start, stop,
+     nesc)] with [pos] past the closing quote.  Every accepted escape
+     decodes 2 bytes to 1, so the decoded length is [stop - start -
+     nesc]. *)
+  let scan_raw_string () =
+    expect '"';
+    let start = !pos in
+    let i = ref start and nesc = ref 0 in
+    let rec seek () =
+      if !i >= n then bail ()
+      else
+        match String.unsafe_get line !i with
+        | '"' -> ()
+        | '\\' ->
+            incr nesc;
+            i := !i + 2;
+            seek ()
+        | _ ->
+            incr i;
+            seek ()
+    in
+    seek ();
+    let stop = !i in
+    pos := stop + 1;
+    (start, stop, !nesc)
+  in
+  (* the L1 key, decoded straight into place: tag, NUL, BLIF bytes *)
+  let build_key tag (start, stop, nesc) =
+    let tl = String.length tag in
+    let out = Bytes.create (tl + 1 + (stop - start - nesc)) in
+    Bytes.blit_string tag 0 out 0 tl;
+    Bytes.unsafe_set out tl '\x00';
+    if nesc = 0 then Bytes.blit_string line start out (tl + 1) (stop - start)
+    else begin
+      let o = ref (tl + 1) and j = ref start in
+      while !j < stop do
+        let c = String.unsafe_get line !j in
+        if c = '\\' then begin
+          (* [seek] jumped escapes in pairs, so the escape char of any
+             backslash in [start, stop) is itself inside the span *)
+          let d =
+            match String.unsafe_get line (!j + 1) with
+            | '"' -> '"'
+            | '\\' -> '\\'
+            | '/' -> '/'
+            | 'b' -> '\b'
+            | 'f' -> '\012'
+            | 'n' -> '\n'
+            | 'r' -> '\r'
+            | 't' -> '\t'
+            | _ -> bail ()
+          in
+          Bytes.unsafe_set out !o d;
+          incr o;
+          j := !j + 2
+        end
+        else begin
+          Bytes.unsafe_set out !o c;
+          incr o;
+          incr j
+        end
+      done
+    end;
+    Bytes.unsafe_to_string out
+  in
+  let scan_int () =
+    let start = !pos in
+    if !pos < n && String.unsafe_get line !pos = '-' then incr pos;
+    let d0 = !pos in
+    while
+      !pos < n
+      && match String.unsafe_get line !pos with '0' .. '9' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = d0 then bail ();
+    (* a fraction or exponent would make the parser produce a float *)
+    if
+      !pos < n
+      && match String.unsafe_get line !pos with '.' | 'e' | 'E' -> true | _ -> false
+    then bail ();
+    match int_of_string (String.sub line start (!pos - start)) with
+    | v -> v
+    | exception _ -> bail ()
+  in
+  let scan_bool () =
+    if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+      pos := !pos + 4;
+      true
+    end
+    else if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+      pos := !pos + 5;
+      false
+    end
+    else bail ()
+  in
+  (* [parse_request] would clamp the default the same way; a
+     non-positive default errors there, so bail. *)
+  let default_dl =
+    if t.default_deadline_s > 0.0 then Stdlib.min t.default_deadline_s 3600.0
+    else -1.0
+  in
+  (* the flat members of one request object; '{' and leading ws already
+     consumed, positioned at the first member's opening quote *)
+  let scan_obj_rest () =
+    if default_dl <= 0.0 then bail ();
+    let id = ref None and blif = ref None in
+    let level = ref None and echo = ref None in
+    let rec members () =
+      let nm = scan_name () in
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      (if name_eq nm "blif" then begin
+         if !blif <> None then bail ();
+         blif := Some (scan_raw_string ())
+       end
+       else if name_eq nm "id" then begin
+         if !id <> None then bail ();
+         id := Some (Obs.Json.Int (scan_int ()))
+       end
+       else if name_eq nm "echo" then begin
+         if !echo <> None then bail ();
+         echo := Some (scan_bool ())
+       end
+       else if name_eq nm "level" then begin
+         if !level <> None then bail ();
+         level :=
+           Some
+             (match scan_string () with
+             | "bit" -> Hash.Embed.Bit_level
+             | "rt" -> Hash.Embed.Rt_level
+             | _ -> bail ())
+       end
+       else bail ());
+      skip_ws ();
+      if !pos >= n then bail ()
+      else
+        match String.unsafe_get line !pos with
+        | ',' ->
+            incr pos;
+            skip_ws ();
+            members ()
+        | '}' -> incr pos
+        | _ -> bail ()
+    in
+    members ();
+    match !blif with
+    | None -> bail () (* "missing field: blif" is the slow path's line *)
+    | Some span ->
+        let level =
+          match !level with Some l -> l | None -> Hash.Embed.Bit_level
+        in
+        let tag =
+          match level with
+          | Hash.Embed.Bit_level -> "bit"
+          | Hash.Embed.Rt_level -> "rt"
+        in
+        {
+          sq_tkey = build_key tag span;
+          sq_taglen = String.length tag;
+          sq_id = !id;
+          sq_level = level;
+          sq_echo = (match !echo with Some b -> b | None -> true);
+        }
+  in
+  let scan_obj () =
+    expect '{';
+    skip_ws ();
+    if !pos < n && String.unsafe_get line !pos = '}' then bail ()
+    else scan_obj_rest ()
+  in
+  let top () =
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    if !pos < n && String.unsafe_get line !pos = '}' then bail ();
+    let save = !pos in
+    let nm = scan_name () in
+    if name_eq nm "batch" then begin
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      expect '[';
+      skip_ws ();
+      let items = ref [] and count = ref 0 in
+      (if !pos < n && String.unsafe_get line !pos = ']' then incr pos
+       else
+         let rec elems () =
+           skip_ws ();
+           let r = scan_obj () in
+           items := r :: !items;
+           incr count;
+           if !count > max_batch then bail ();
+           skip_ws ();
+           if !pos >= n then bail ()
+           else
+             match String.unsafe_get line !pos with
+             | ',' ->
+                 incr pos;
+                 elems ()
+             | ']' -> incr pos
+             | _ -> bail ()
+         in
+         elems ());
+      skip_ws ();
+      expect '}';
+      skip_ws ();
+      if !pos <> n then bail ();
+      Scanned_batch (List.rev !items)
+    end
+    else begin
+      pos := save;
+      let req = scan_obj_rest () in
+      skip_ws ();
+      if !pos <> n then bail ();
+      Scanned_one req
+    end
+  in
+  match top () with v -> Some v | exception Slow -> None
+
+let submit_line_slow t ~t0 line =
   match Obs.Json.parse line with
   | exception Obs.Json.Parse_error msg ->
       Immediate (error_response Bad_request msg)
   | json -> (
-      match parse_request t json with
-      | Error msg ->
+      match Obs.Json.member "batch" json with
+      | None -> submit_json t ~t0 json
+      | Some (Obs.Json.List items) ->
+          if List.length items > max_batch then
+            Immediate
+              (error_response
+                 ?id:(Obs.Json.member "id" json)
+                 Bad_request
+                 (Printf.sprintf "batch too large (max %d items)" max_batch))
+          else
+            Batch
+              (List.map
+                 (fun item ->
+                   match Obs.Json.member "batch" item with
+                   | Some _ ->
+                       Immediate
+                         (error_response
+                            ?id:(Obs.Json.member "id" item)
+                            Bad_request "batches do not nest")
+                   | None -> submit_json t ~t0 item)
+                 items)
+      | Some _ ->
           Immediate
-            (error_response ?id:(Obs.Json.member "id" json) Bad_request msg)
-      | Ok req -> (
-          let deadline = t0 +. req.deadline_s in
-          match
-            match req.cut with
-            | Gates _ ->
-                (* Explicit gate lists name signal indices of this
-                   particular representation — never served from (or
-                   stored into) the caches. *)
-                let circuit = Blif.of_string req.blif in
-                Circuit.validate circuit;
-                `Run
-                  (fun () -> run_and_respond t req circuit None ~deadline ~t0)
-            | Maximal -> (
-                let level_tag =
-                  match req.level with
-                  | Hash.Embed.Bit_level -> "bit"
-                  | Hash.Embed.Rt_level -> "rt"
-                in
-                (* L1: byte-identical repeat?  Answered before the BLIF
-                   is even parsed. *)
-                let tkey = Digest.string (level_tag ^ "\x00" ^ req.blif) in
-                let text_hit =
-                  locked t (fun () ->
-                      match Lru.find t.text_cache tkey with
-                      | Some (blif, digest, e)
-                        when String.equal blif req.blif ->
-                          t.counters.Obs.Cache.hits <-
-                            t.counters.Obs.Cache.hits + 1;
-                          Some (digest, e)
-                      | Some _ | None -> None)
-                in
-                match text_hit with
-                | Some (digest, e) ->
-                    `Hit
-                      (ok_response t ~id:req.id ~hit:true ~cacheable:true
-                         ~digest:(Some digest) ~e
-                         ~wall_s:(Unix.gettimeofday () -. t0))
-                | None -> (
-                    let circuit = Blif.of_string req.blif in
-                    let fp = Fingerprint.of_circuit circuit in
-                    let key = Fingerprint.digest fp ^ "/" ^ level_tag in
-                    let cached =
-                      locked t (fun () ->
-                          match Lru.find t.cache key with
-                          | Some e
-                            when String.equal e.e_canon (Fingerprint.canon fp)
-                            ->
-                              t.counters.Obs.Cache.hits <-
-                                t.counters.Obs.Cache.hits + 1;
-                              (* remember the spelling for next time *)
-                              ignore
-                                (Lru.add t.text_cache tkey
-                                   (req.blif, Fingerprint.digest fp, e));
-                              Some e
-                          | Some _ | None ->
-                              t.counters.Obs.Cache.misses <-
-                                t.counters.Obs.Cache.misses + 1;
-                              None)
-                    in
-                    match cached with
-                    | Some e ->
-                        `Hit
-                          (ok_response t ~id:req.id ~hit:true ~cacheable:true
-                             ~digest:(Some (Fingerprint.digest fp))
-                             ~e
-                             ~wall_s:(Unix.gettimeofday () -. t0))
-                    | None ->
-                        `Run
-                          (fun () ->
-                            run_and_respond t req circuit
-                              (Some (key, fp, tkey))
-                              ~deadline ~t0)))
-          with
-          | `Hit resp -> Immediate resp
-          | `Run thunk -> (
-              match Parallel.Pool.submit ~deadline t.pool thunk with
-              | fut -> Queued (req.id, fut)
-              | exception Parallel.Pool.Shutdown ->
-                  Immediate
-                    (error_response ?id:req.id Shutdown
-                       "server is shutting down"))
-          | exception e ->
-              let code, msg = error_of_exn e in
-              Immediate (error_response ?id:req.id code msg)))
+            (error_response
+               ?id:(Obs.Json.member "id" json)
+               Bad_request "bad field: batch (expected a list of requests)"))
 
-let collect = function
-  | Immediate s -> s
-  | Queued (id, fut) -> (
-      match Parallel.Pool.await fut with
-      | s -> s
-      | exception Parallel.Pool.Cancelled ->
-          error_response ?id Deadline_exceeded
-            "deadline passed before the request was scheduled"
-      | exception e ->
-          let code, msg = error_of_exn e in
-          error_response ?id code msg)
+(* The fast lane for a scanned request: probe the text cache with the
+   key the scanner already built; on a miss, slice the BLIF back out of
+   the key and take the ordinary [submit_request] road (whose own L1
+   probe misses again without bumping any counter). *)
+let submit_scanned t ~t0 (sq : scanned_req) =
+  let tsh = shard_for t sq.sq_tkey in
+  let text_hit =
+    locked tsh (fun () ->
+        match Lru.find tsh.sh_text sq.sq_tkey with
+        | Some (digest, e) ->
+            bump tsh.sh_counters.Obs.Cache.hits;
+            Some (digest, e)
+        | None -> None)
+  in
+  match text_hit with
+  | Some (digest, e) ->
+      Immediate
+        (ok_response t ~id:sq.sq_id ~echo:sq.sq_echo ~hit:true ~cacheable:true
+           ~digest:(Some digest) ~e
+           ~wall_s:(Unix.gettimeofday () -. t0))
+  | None ->
+      let blif =
+        String.sub sq.sq_tkey (sq.sq_taglen + 1)
+          (String.length sq.sq_tkey - sq.sq_taglen - 1)
+      in
+      submit_request t ~t0
+        {
+          id = sq.sq_id;
+          blif;
+          level = sq.sq_level;
+          cut = Maximal;
+          deadline_s = Stdlib.min t.default_deadline_s 3600.0;
+          echo = sq.sq_echo;
+        }
+
+let submit_line t line =
+  let t0 = Unix.gettimeofday () in
+  match scan_line t line with
+  | Some (Scanned_one sq) -> submit_scanned t ~t0 sq
+  | Some (Scanned_batch sqs) -> Batch (List.map (submit_scanned t ~t0) sqs)
+  | None -> submit_line_slow t ~t0 line
+
+let await_queued id fut =
+  match Parallel.Pool.await fut with
+  | r -> r
+  | exception Parallel.Pool.Cancelled ->
+      error_response ?id Deadline_exceeded
+        "deadline passed before the request was scheduled"
+  | exception e ->
+      let code, msg = error_of_exn e in
+      error_response ?id code msg
+
+let rec collect = function
+  | Immediate r -> render_response r
+  | Queued (id, fut) -> render_response (await_queued id fut)
+  | Batch ps ->
+      (* one pre-sized buffer: the parts are ~20KB each, and building
+         the array line by [^]/[String.concat] would copy the megabyte
+         of a full batch three times over on the major heap *)
+      let parts = List.map collect ps in
+      let total =
+        List.fold_left (fun a s -> a + String.length s + 1) 1 parts
+      in
+      let buf = Buffer.create (total + 1) in
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf s)
+        parts;
+      Buffer.add_char buf ']';
+      Buffer.contents buf
 
 let handle_line t line = collect (submit_line t line)
+
+(* Channel-side twin of [collect]: awaits in the same order but
+   appends every piece to a caller-owned scratch buffer, so the warm
+   socket path never allocates a response-sized string (and a batch
+   never materializes its potentially megabyte array line as a string).
+   The per-connection writer reuses one scratch buffer for every line:
+   after the first response the warm path allocates nothing
+   response-sized at all, and the channel is touched once per line
+   instead of once per JSON piece. *)
+let rec add_pending buf = function
+  | Immediate r -> response_pieces r (Buffer.add_string buf)
+  | Queued (id, fut) ->
+      response_pieces (await_queued id fut) (Buffer.add_string buf)
+  | Batch ps ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i p ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_pending buf p)
+        ps;
+      Buffer.add_char buf ']'
 
 (* Requests pipeline through the pool; responses come back in request
    order (a pending queue, drained as the head resolves). *)
 (* The reader (this thread) parses lines and dispatches; a writer
-   domain awaits each pending response in request order and emits it
+   thread awaits each pending response in request order and emits it
    the moment it resolves.  Splitting the two is what lets an
    interactive client see its response while the reader is blocked on
    [input_line] — a single-threaded read-then-drain loop would hold
    finished responses hostage until the next request (or EOF)
-   arrived. *)
+   arrived.  (A thread, not a domain: every concurrent connection gets
+   one of these, and they only block on IO.) *)
 let serve_channel t ic oc =
   let q = Queue.create () in
   let mu = Mutex.create () in
@@ -483,12 +1183,9 @@ let serve_channel t ic oc =
     Mutex.unlock mu
   in
   let writer =
-    Domain.spawn (fun () ->
-        let emit s =
-          output_string oc s;
-          output_char oc '\n';
-          flush oc
-        in
+    Thread.create
+      (fun () ->
+        let scratch = Buffer.create 4096 in
         let rec wloop () =
           Mutex.lock mu;
           while Queue.is_empty q do
@@ -499,17 +1196,23 @@ let serve_channel t ic oc =
           match item with
           | None -> ()
           | Some p ->
-              emit (collect p);
+              Buffer.clear scratch;
+              add_pending scratch p;
+              Buffer.add_char scratch '\n';
+              Buffer.output_buffer oc scratch;
+              flush oc;
               wloop ()
         in
-        wloop ())
+        (* a writer that died mid-emit (client hung up) already lost the
+           connection; swallow so the default thread handler doesn't
+           print it *)
+        try wloop () with Sys_error _ | Unix.Unix_error _ -> ())
+      ()
   in
   Fun.protect
     ~finally:(fun () ->
       push None;
-      (* a writer that died mid-emit (client hung up) already lost the
-         connection; its exception must not escape the channel loop *)
-      try Domain.join writer with _ -> ())
+      try Thread.join writer with _ -> ())
     (fun () ->
       try
         let rec loop () =
@@ -522,25 +1225,195 @@ let serve_channel t ic oc =
 
 let run_stdio t = serve_channel t stdin stdout
 
-(* Connections are accepted one at a time; requests within a connection
-   still pipeline through the pool. *)
-let run_socket t ~path =
+(* ------------------------------------------------------------------ *)
+(* Listeners: concurrent connections over Unix or TCP sockets           *)
+(* ------------------------------------------------------------------ *)
+
+type listener = {
+  l_server : t;
+  l_sock : Unix.file_descr;
+  l_path : string option;  (* Unix path, unlinked on stop *)
+  l_addr : Unix.sockaddr;  (* actual bound address (TCP port 0 resolved) *)
+  l_stop_r : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
+  l_stop_w : Unix.file_descr;
+  l_stop : bool Atomic.t;
+  l_max : int;
+  l_mu : Mutex.t;
+  l_cv : Condition.t;
+  mutable l_active : int;  (* in-flight connections *)
+  l_conns : (Unix.file_descr, unit) Hashtbl.t;
+      (* live connection fds, so a stop can half-close them; guarded by
+         [l_mu], and fds are closed under [l_mu] too so a drain never
+         shuts down a recycled descriptor *)
+  mutable l_cleaned : bool;
+  mutable l_accept : Thread.t option;
+}
+
+let listener_addr l = l.l_addr
+
+let handle_conn l fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try serve_channel l.l_server ic oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  (try flush oc with Sys_error _ -> ());
+  Mutex.lock l.l_mu;
+  Hashtbl.remove l.l_conns fd;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  l.l_active <- l.l_active - 1;
+  Condition.broadcast l.l_cv;
+  Mutex.unlock l.l_mu
+
+let accept_loop l =
+  let stopped () = Atomic.get l.l_stop in
+  let rec loop () =
+    if stopped () then ()
+    else begin
+      let full =
+        Mutex.lock l.l_mu;
+        let f = l.l_active >= l.l_max in
+        Mutex.unlock l.l_mu;
+        f
+      in
+      if full then begin
+        (* at capacity: poll for a free slot, waking instantly on stop
+           (the self-pipe becomes readable) *)
+        (try ignore (Unix.select [ l.l_stop_r ] [] [] 0.05)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      end
+      else
+        match Unix.select [ l.l_sock; l.l_stop_r ] [] [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | ready, _, _ ->
+            if List.mem l.l_stop_r ready || stopped () then ()
+            else (
+              match Unix.accept l.l_sock with
+              | exception
+                  Unix.Unix_error
+                    ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+                      | Unix.EWOULDBLOCK ),
+                      _,
+                      _ ) ->
+                  loop ()
+              | exception Unix.Unix_error _ ->
+                  ()  (* listening socket is gone: stop accepting *)
+              | fd, _ ->
+                  Mutex.lock l.l_mu;
+                  l.l_active <- l.l_active + 1;
+                  Hashtbl.replace l.l_conns fd ();
+                  Mutex.unlock l.l_mu;
+                  ignore (Thread.create (fun () -> handle_conn l fd) ());
+                  loop ())
+    end
+  in
+  loop ()
+
+let make_listener t sock path max_connections =
   (* a client that hangs up mid-response must cost us the connection,
      not the process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
+  Unix.listen sock 64;
+  let stop_r, stop_w = Unix.pipe () in
+  let l =
+    {
+      l_server = t;
+      l_sock = sock;
+      l_path = path;
+      l_addr = Unix.getsockname sock;
+      l_stop_r = stop_r;
+      l_stop_w = stop_w;
+      l_stop = Atomic.make false;
+      l_max = max 1 max_connections;
+      l_mu = Mutex.create ();
+      l_cv = Condition.create ();
+      l_active = 0;
+      l_conns = Hashtbl.create 16;
+      l_cleaned = false;
+      l_accept = None;
+    }
+  in
+  l.l_accept <- Some (Thread.create (fun () -> accept_loop l) ());
+  l
+
+let listen_unix ?(max_connections = 64) t ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 16;
-  let rec accept_loop () =
-    let fd, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    (try serve_channel t ic oc
-     with Sys_error _ | Unix.Unix_error _ -> ());
-    (try flush oc with Sys_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    accept_loop ()
+  (try Unix.bind sock (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  make_listener t sock (Some path) max_connections
+
+let listen_tcp ?(max_connections = 64) t ~host ~port =
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ -> (
+        match (Unix.gethostbyname host).Unix.h_addr_list with
+        | [||] -> raise (Invalid_argument ("serve: cannot resolve " ^ host))
+        | addrs -> addrs.(0)
+        | exception Not_found ->
+            raise (Invalid_argument ("serve: cannot resolve " ^ host)))
   in
-  accept_loop ()
+  let sa = Unix.ADDR_INET (addr, port) in
+  let sock = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock sa
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  make_listener t sock None max_connections
+
+(* Async-signal-safe: an atomic flag plus one self-pipe write, so it can
+   run inside a SIGINT/SIGTERM handler. *)
+let request_stop l =
+  if not (Atomic.exchange l.l_stop true) then
+    try ignore (Unix.write l.l_stop_w (Bytes.of_string "!") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let await l =
+  (match l.l_accept with
+  | Some th -> ( try Thread.join th with _ -> ())
+  | None -> ());
+  Mutex.lock l.l_mu;
+  let first = not l.l_cleaned in
+  l.l_cleaned <- true;
+  Mutex.unlock l.l_mu;
+  (* stop taking connections before draining the in-flight ones *)
+  if first then begin
+    (try Unix.close l.l_sock with Unix.Unix_error _ -> ());
+    (match l.l_path with
+    | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+    | None -> ())
+  end;
+  Mutex.lock l.l_mu;
+  (* half-close every live connection: its reader sees EOF once the
+     requests already on the wire are through, so an idle client cannot
+     hold the drain open, yet pending responses still go out *)
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+    l.l_conns;
+  while l.l_active > 0 do
+    Condition.wait l.l_cv l.l_mu
+  done;
+  Mutex.unlock l.l_mu;
+  if first then begin
+    (try Unix.close l.l_stop_r with Unix.Unix_error _ -> ());
+    try Unix.close l.l_stop_w with Unix.Unix_error _ -> ()
+  end
+
+let stop l =
+  request_stop l;
+  await l
+
+let run_socket t ~path =
+  let l = listen_unix t ~path in
+  await l
+
+let run_tcp t ~host ~port =
+  let l = listen_tcp t ~host ~port in
+  await l

@@ -1,14 +1,15 @@
 (* The retiming daemon: protocol behaviour of [Serve.handle_line] (hits,
-   misses, eviction, every rejection class) and a channel smoke test
-   with a live pool behind a pipe pair. *)
+   misses, eviction, every rejection class, batches), a channel smoke
+   test with a live pool behind a pipe pair, and live listeners (Unix
+   and TCP) with concurrent clients and a clean stop. *)
 
 module J = Obs.Json
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let mk_server ?(jobs = 1) ?(cache_capacity = 64) () =
-  Serve.create ~jobs ~cache_capacity ~default_deadline_s:60.0 ()
+let mk_server ?(jobs = 1) ?(cache_capacity = 64) ?shards () =
+  Serve.create ~jobs ~cache_capacity ?shards ~default_deadline_s:60.0 ()
 
 let request ?(extra = []) id blif =
   J.to_string (J.Obj ([ ("id", J.Int id); ("blif", J.Str blif) ] @ extra))
@@ -92,7 +93,9 @@ let test_levels_distinct () =
   check "rt does not hit the bit entry" false (cache_bool "hit" r2)
 
 let test_eviction () =
-  let srv = mk_server ~cache_capacity:2 () in
+  (* one shard: capacity-2 LRU with strict global recency order (with
+     several shards the keys would spread and never reach capacity) *)
+  let srv = mk_server ~cache_capacity:2 ~shards:1 () in
   Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
   List.iter
     (fun n ->
@@ -105,6 +108,66 @@ let test_eviction () =
   (* circuit 1 was evicted: re-requesting it is a miss again *)
   let j = parse (Serve.handle_line srv (request 5 (blif_of 1))) in
   check "evicted entry misses" false (cache_bool "hit" j)
+
+let test_echo_elision () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  let b = blif_of 3 in
+  let terse = request ~extra:[ ("echo", J.Bool false) ] 1 b in
+  (* echo:false elides blif+theorem on both the miss and the hit path
+     (the hit goes through the fast-path scanner), everything else
+     stays *)
+  List.iter
+    (fun (label, hit) ->
+      let j = parse (Serve.handle_line srv terse) in
+      Alcotest.(check string) (label ^ " ok") "ok" (status j);
+      check (label ^ " hit flag") hit (cache_bool "hit" j);
+      check (label ^ " has no blif") true (J.member "blif" j = None);
+      check (label ^ " has no theorem") true (J.member "theorem" j = None);
+      check (label ^ " keeps circuit") true (J.member "circuit" j <> None);
+      check (label ^ " keeps retimed") true (J.member "retimed" j <> None);
+      check (label ^ " keeps digest") true
+        (match cache_field "digest" j with J.Str _ -> true | _ -> false);
+      check (label ^ " echoes id") true (J.member "id" j = Some (J.Int 1)))
+    [ ("miss", false); ("hit", true) ];
+  (* echo:true (explicit and default) still carries the payload, and
+     both spellings hit the same cache entry *)
+  List.iter
+    (fun line ->
+      let j = parse (Serve.handle_line srv line) in
+      check "verbose hits" true (cache_bool "hit" j);
+      check "verbose has blif" true (J.member "blif" j <> None);
+      check "verbose has theorem" true (J.member "theorem" j <> None))
+    [ request ~extra:[ ("echo", J.Bool true) ] 2 b; request 3 b ];
+  (* per-item in a batch *)
+  let batch =
+    J.to_string
+      (J.Obj
+         [
+           ( "batch",
+             J.List
+               [
+                 J.Obj [ ("id", J.Int 10); ("blif", J.Str b) ];
+                 J.Obj
+                   [
+                     ("id", J.Int 11);
+                     ("blif", J.Str b);
+                     ("echo", J.Bool false);
+                   ];
+               ] );
+         ])
+  in
+  (match parse (Serve.handle_line srv batch) with
+  | J.List [ verbose; terse_item ] ->
+      check "batch verbose item has blif" true (J.member "blif" verbose <> None);
+      check "batch terse item has no blif" true
+        (J.member "blif" terse_item = None);
+      check "batch terse item ok" true (status terse_item = "ok")
+  | j -> Alcotest.fail ("batch response is not a 2-array: " ^ J.to_string j));
+  (* a non-boolean echo is a protocol error *)
+  expect_error srv
+    (request ~extra:[ ("echo", J.Int 1) ] 4 b)
+    "bad_request"
 
 let test_explicit_cut_bypasses_cache () =
   let srv = mk_server () in
@@ -215,12 +278,253 @@ let test_serve_channel () =
       Alcotest.(check string) "r4" "ok" (status d')
   | _ -> Alcotest.fail "unreachable"
 
+(* --- batching ------------------------------------------------------- *)
+
+let test_batch_order_and_isolation () =
+  let srv = mk_server ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  let b2 = blif_of 2 and b3 = blif_of 3 in
+  let item ?(extra = []) id blif =
+    J.Obj ([ ("id", J.Int id); ("blif", J.Str blif) ] @ extra)
+  in
+  let batch =
+    J.to_string
+      (J.Obj
+         [
+           ( "batch",
+             J.List
+               [
+                 item 1 b2;
+                 J.Obj [ ("id", J.Int 2) ] (* no blif *);
+                 item 3 b3;
+                 item 4 "not blif at all";
+                 item 5 b2 (* duplicate of item 1 *);
+               ] );
+         ])
+  in
+  let j = parse (Serve.handle_line srv batch) in
+  let items =
+    match j with
+    | J.List items -> items
+    | _ -> Alcotest.fail "batch response is not a JSON array"
+  in
+  check_int "five responses" 5 (List.length items);
+  List.iteri
+    (fun i item ->
+      match (i, J.member "id" item) with
+      | (0, Some (J.Int 1) | 2, Some (J.Int 3) | 4, Some (J.Int 5)) ->
+          Alcotest.(check string)
+            (Printf.sprintf "item %d ok" i)
+            "ok" (status item)
+      | 1, Some (J.Int 2) ->
+          Alcotest.(check string) "missing blif isolated" "bad_request"
+            (error_code item)
+      | 3, Some (J.Int 4) ->
+          Alcotest.(check string) "bad netlist isolated" "invalid_netlist"
+            (error_code item)
+      | _ -> Alcotest.fail "batch responses out of order")
+    items;
+  (* batch items populate the shared cache like single requests *)
+  let r = parse (Serve.handle_line srv (request 9 b3)) in
+  check "batch populated the cache" true (cache_bool "hit" r)
+
+let test_batch_rejects () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  (* a non-array batch member rejects the whole line *)
+  expect_error srv "{\"batch\": 5}" "bad_request";
+  (* a nested batch is rejected in its own slot, not the whole line *)
+  let j =
+    parse
+      (Serve.handle_line srv "{\"batch\": [{\"batch\": []}]}")
+  in
+  (match j with
+  | J.List [ inner ] ->
+      Alcotest.(check string) "nested batch rejected" "bad_request"
+        (error_code inner)
+  | _ -> Alcotest.fail "expected a one-element array response");
+  (* an empty batch is a valid, empty array *)
+  match parse (Serve.handle_line srv "{\"batch\": []}") with
+  | J.List [] -> ()
+  | _ -> Alcotest.fail "empty batch should answer []"
+
+(* --- sharded counters ----------------------------------------------- *)
+
+let test_sharded_counters () =
+  let srv = mk_server ~shards:4 () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  (match J.member "shards" (Serve.stats srv) with
+  | Some (J.Int 4) -> ()
+  | _ -> Alcotest.fail "stats should report 4 shards");
+  let widths = [ 1; 2; 3; 4; 5; 6 ] in
+  List.iter
+    (fun n ->
+      let j = parse (Serve.handle_line srv (request n (blif_of n))) in
+      Alcotest.(check string) "miss ok" "ok" (status j))
+    widths;
+  let last = ref J.Null in
+  List.iter
+    (fun n -> last := parse (Serve.handle_line srv (request (10 + n) (blif_of n))))
+    widths;
+  (* counters aggregate across the shards the six circuits hashed into *)
+  check "repeat hits" true (cache_bool "hit" !last);
+  check_int "six hits" 6 (cache_int "hits" !last);
+  check_int "six misses" 6 (cache_int "misses" !last);
+  check_int "six insertions" 6 (cache_int "insertions" !last);
+  check_int "six entries" 6 (cache_int "entries" !last)
+
+(* --- live listeners ------------------------------------------------- *)
+
+let sock_path tag =
+  let p =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve_test_%s_%d.sock" tag (Unix.getpid ()))
+  in
+  (try Unix.unlink p with Unix.Unix_error _ -> ());
+  p
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let test_interleaved_clients () =
+  let srv = mk_server () in
+  let path = sock_path "interleave" in
+  let l = Serve.listen_unix srv ~path in
+  Fun.protect ~finally:(fun () -> Serve.stop l; Serve.shutdown srv)
+  @@ fun () ->
+  let fd_a, ic_a, oc_a = connect_unix path in
+  let _fd_b, ic_b, oc_b = connect_unix path in
+  (* warm the cache over connection B *)
+  let warm = blif_of 4 in
+  send oc_b (request 1 warm);
+  let r = parse (input_line ic_b) in
+  Alcotest.(check string) "warm-up ok" "ok" (status r);
+  (* connection A: a slow batch — two dozen explicit-cut requests that
+     always run the kernel (never cached), then a deadline-bound item *)
+  let c = Fig2.gate 48 in
+  let slow_blif = Blif.to_string c in
+  let cut =
+    J.List (List.map (fun g -> J.Int g) (Cut.maximal c).Cut.f_gates)
+  in
+  let slow_item id =
+    J.Obj [ ("id", J.Int id); ("blif", J.Str slow_blif); ("cut", cut) ]
+  in
+  let items =
+    List.init 24 slow_item
+    @ [
+        J.Obj
+          [
+            ("id", J.Int 99);
+            ("blif", J.Str slow_blif);
+            ("deadline_s", J.Float 1e-9);
+          ];
+      ]
+  in
+  send oc_a (J.to_string (J.Obj [ ("batch", J.List items) ]));
+  (* connection B: a byte-identical repeat — a pure text-cache hit that
+     must be answered while A's batch is still grinding *)
+  send oc_b (request 2 warm);
+  let r = parse (input_line ic_b) in
+  check "B hits while A grinds" true (cache_bool "hit" r);
+  let readable, _, _ = Unix.select [ fd_a ] [] [] 0.0 in
+  check "A's batch is still in flight when B is answered" true
+    (readable = []);
+  (* A's batch arrives complete, in order, with the deadline item
+     failing alone *)
+  let j = parse (input_line ic_a) in
+  (match j with
+  | J.List items ->
+      check_int "25 batch responses" 25 (List.length items);
+      List.iteri
+        (fun i item ->
+          if i < 24 then (
+            Alcotest.(check string) "slow item ok" "ok" (status item);
+            check "explicit cut not cacheable" false
+              (cache_bool "cacheable" item))
+          else
+            Alcotest.(check string) "deadline item isolated"
+              "deadline_exceeded" (error_code item))
+        items
+  | _ -> Alcotest.fail "batch response is not a JSON array");
+  (* closing the out_channel closes the shared descriptor *)
+  close_out_noerr oc_a;
+  close_out_noerr oc_b;
+  (* clean stop unlinks the socket path *)
+  Serve.stop l;
+  check "socket path unlinked on stop" false (Sys.file_exists path)
+
+let test_tcp_listener () =
+  let srv = mk_server () in
+  let l = Serve.listen_tcp srv ~host:"127.0.0.1" ~port:0 in
+  let port =
+    match Serve.listener_addr l with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "TCP listener without an inet address"
+  in
+  check "port 0 resolved" true (port > 0);
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let b = blif_of 2 in
+  send oc (request 1 b);
+  let r1 = parse (input_line ic) in
+  Alcotest.(check string) "miss over TCP" "ok" (status r1);
+  check "first is a miss" false (cache_bool "hit" r1);
+  send oc (request 2 b);
+  let r2 = parse (input_line ic) in
+  check "hit over TCP" true (cache_bool "hit" r2);
+  (* same trust boundary as the Unix transport *)
+  send oc "definitely not json";
+  let r3 = parse (input_line ic) in
+  Alcotest.(check string) "malformed rejected over TCP" "bad_request"
+    (error_code r3);
+  close_out_noerr oc;
+  Serve.stop l;
+  Serve.shutdown srv;
+  (* the port no longer accepts connections *)
+  let fd2 = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd2) @@ fun () ->
+  match Unix.connect fd2 (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+  | () -> Alcotest.fail "connect succeeded after stop"
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+
+let test_bounded_connections () =
+  let srv = mk_server () in
+  let path = sock_path "bounded" in
+  let l = Serve.listen_unix ~max_connections:1 srv ~path in
+  Fun.protect ~finally:(fun () -> Serve.stop l; Serve.shutdown srv)
+  @@ fun () ->
+  (* A occupies the single handler slot (the kernel accepts A first:
+     connections are handed out in arrival order) *)
+  let fd_a, _, _ = connect_unix path in
+  let fd_b, ic_b, oc_b = connect_unix path in
+  send oc_b (request 1 (blif_of 2));
+  let readable, _, _ = Unix.select [ fd_b ] [] [] 0.4 in
+  check "B waits while the slot is held" true (readable = []);
+  Unix.close fd_a;
+  (* A's EOF frees the slot; the accept loop picks B out of the backlog *)
+  let readable, _, _ = Unix.select [ fd_b ] [] [] 10.0 in
+  check "B served once the slot frees" true (readable <> []);
+  let j = parse (input_line ic_b) in
+  Alcotest.(check string) "B's request ok" "ok" (status j);
+  close_out_noerr oc_b
+
 let suite =
   [
     Alcotest.test_case "miss, text hit, fingerprint hit" `Quick
       test_miss_then_hit;
     Alcotest.test_case "levels keyed separately" `Quick test_levels_distinct;
     Alcotest.test_case "LRU eviction" `Quick test_eviction;
+    Alcotest.test_case "echo:false elides payload" `Quick test_echo_elision;
     Alcotest.test_case "explicit cut bypasses cache" `Quick
       test_explicit_cut_bypasses_cache;
     Alcotest.test_case "rejection taxonomy" `Quick test_rejections;
@@ -228,4 +532,13 @@ let suite =
     Alcotest.test_case "shutdown rejects new work" `Quick
       test_shutdown_rejects;
     Alcotest.test_case "serve_channel pipeline" `Quick test_serve_channel;
+    Alcotest.test_case "batch order and isolation" `Quick
+      test_batch_order_and_isolation;
+    Alcotest.test_case "batch rejections" `Quick test_batch_rejects;
+    Alcotest.test_case "sharded counters aggregate" `Quick
+      test_sharded_counters;
+    Alcotest.test_case "interleaved socket clients" `Quick
+      test_interleaved_clients;
+    Alcotest.test_case "tcp transport" `Quick test_tcp_listener;
+    Alcotest.test_case "bounded connections" `Quick test_bounded_connections;
   ]
