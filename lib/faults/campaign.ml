@@ -70,6 +70,11 @@ let default_bases () =
 (* One mutant                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Only [Invalid_netlist] may demote a cosim to "not equivalent": it means
+   the accepted circuit does not even simulate.  Anything else
+   (Out_of_memory, Stack_overflow, a bug here) must propagate — a crash
+   counted as a verdict is exactly the hazard this campaign exists to
+   exclude. *)
 let cosim rng steps c1 c2 =
   try
     let st1 = ref (Sim.initial_state c1) in
@@ -89,17 +94,23 @@ let cosim rng steps c1 c2 =
       then ok := false
     done;
     !ok
-  with _ -> false
+  with Circuit.Invalid_netlist _ -> false
 
 (* Exact symbolic cross-check; [None] when it cannot decide (word
-   circuits that fail to bit-blast, budget exhaustion). *)
+   circuits that fail to bit-blast, engine-unsupported shapes, budget
+   exhaustion).  The handler lists exactly those typed outcomes: a [None]
+   is "accepted as equivalent" upstream, so letting a wildcard turn
+   Out_of_memory into [None] would count a crash as a correct result. *)
 let bdd_equiv budget_s c1 c2 =
   match
     try
       let b1 = Bitblast.expand c1 and b2 = Bitblast.expand c2 in
       let budget = Engines.Common.budget_of_seconds budget_s in
       Some (Engines.Smv.equiv budget b1 b2)
-    with _ -> None
+    with
+    | Circuit.Invalid_netlist _ | Engines.Common.Unsupported _
+    | Engines.Common.Interface_mismatch _ | Engines.Common.Out_of_budget ->
+        None
   with
   | Some Engines.Common.Equivalent -> Some true
   | Some (Engines.Common.Not_equivalent _) -> Some false

@@ -213,45 +213,39 @@ let wrong_circuit (foreign : base) _rng (b : base) =
 
 (* ---------------------------------------------------------------------- *)
 
-let classes =
+(* The dispatch table is the single source of truth: {!classes} is derived
+   from it, so a class name that reaches {!apply} without a table entry can
+   only come from an external caller's typo — selecting no mutant ([None])
+   is the sound degradation, and there is no untyped error path. *)
+let mutators :
+    (string * (Random.State.t -> bases:base array -> base_idx:int -> subject option))
+    list =
+  let on_base f rng ~bases ~base_idx = f rng bases.(base_idx) in
   [
-    "cut_drop_gate";
-    "cut_add_gate";
-    "cut_nongate_member";
-    "cut_out_of_range";
-    "forged_duplicate";
-    "forged_shuffle";
-    "forged_boundary_drop";
-    "forged_boundary_alien";
-    "forged_passthrough_drop";
-    "forged_passthrough_alien";
-    "netlist_dangling_output";
-    "netlist_dup_output";
-    "netlist_width_lie";
-    "netlist_reg_width";
-    "prefix_bad_k";
-    "wrong_circuit";
+    ("cut_drop_gate", on_base cut_drop_gate);
+    ("cut_add_gate", on_base cut_add_gate);
+    ("cut_nongate_member", on_base cut_nongate_member);
+    ("cut_out_of_range", on_base cut_out_of_range);
+    ("forged_duplicate", on_base forged_duplicate);
+    ("forged_shuffle", on_base forged_shuffle);
+    ("forged_boundary_drop", on_base forged_boundary_drop);
+    ("forged_boundary_alien", on_base forged_boundary_alien);
+    ("forged_passthrough_drop", on_base forged_passthrough_drop);
+    ("forged_passthrough_alien", on_base forged_passthrough_alien);
+    ("netlist_dangling_output", on_base netlist_dangling_output);
+    ("netlist_dup_output", on_base netlist_dup_output);
+    ("netlist_width_lie", on_base netlist_width_lie);
+    ("netlist_reg_width", on_base netlist_reg_width);
+    ("prefix_bad_k", on_base prefix_bad_k);
+    ( "wrong_circuit",
+      fun rng ~bases ~base_idx ->
+        let foreign = bases.((base_idx + 1) mod Array.length bases) in
+        wrong_circuit foreign rng bases.(base_idx) );
   ]
 
+let classes = List.map fst mutators
+
 let apply rng ~bases ~base_idx cls =
-  let b = bases.(base_idx) in
-  match cls with
-  | "cut_drop_gate" -> cut_drop_gate rng b
-  | "cut_add_gate" -> cut_add_gate rng b
-  | "cut_nongate_member" -> cut_nongate_member rng b
-  | "cut_out_of_range" -> cut_out_of_range rng b
-  | "forged_duplicate" -> forged_duplicate rng b
-  | "forged_shuffle" -> forged_shuffle rng b
-  | "forged_boundary_drop" -> forged_boundary_drop rng b
-  | "forged_boundary_alien" -> forged_boundary_alien rng b
-  | "forged_passthrough_drop" -> forged_passthrough_drop rng b
-  | "forged_passthrough_alien" -> forged_passthrough_alien rng b
-  | "netlist_dangling_output" -> netlist_dangling_output rng b
-  | "netlist_dup_output" -> netlist_dup_output rng b
-  | "netlist_width_lie" -> netlist_width_lie rng b
-  | "netlist_reg_width" -> netlist_reg_width rng b
-  | "prefix_bad_k" -> prefix_bad_k rng b
-  | "wrong_circuit" ->
-      let foreign = bases.((base_idx + 1) mod Array.length bases) in
-      wrong_circuit foreign rng b
-  | _ -> invalid_arg ("Mutate.apply: unknown class " ^ cls)
+  match List.assoc_opt cls mutators with
+  | Some f -> f rng ~bases ~base_idx
+  | None -> None

@@ -40,4 +40,5 @@ val apply :
   subject option
 (** [apply rng ~bases ~base_idx cls] forges one mutant of class [cls]
     from [bases.(base_idx)]; [None] when the class does not apply to that
-    base (e.g. no pass-through register to drop). *)
+    base (e.g. no pass-through register to drop) or when [cls] is not in
+    {!classes} — there is deliberately no untyped error path here. *)

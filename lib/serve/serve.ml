@@ -896,7 +896,7 @@ let scan_line t line : scanned_line option =
     then bail ();
     match int_of_string (String.sub line start (!pos - start)) with
     | v -> v
-    | exception _ -> bail ()
+    | exception Failure _ -> bail ()
   in
   let scan_bool () =
     if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
@@ -1212,7 +1212,12 @@ let serve_channel t ic oc =
   Fun.protect
     ~finally:(fun () ->
       push None;
-      try Thread.join writer with _ -> ())
+      (* best-effort join during teardown: the writer drains the queue and
+         exits once it pops [None]; if the runtime cannot join (systhreads
+         reports failures as [Sys_error]) the process is shutting the
+         channel down anyway and the thread dies with it.  Anything else —
+         Out_of_memory, a bug — must propagate. *)
+      try Thread.join writer with Sys_error _ -> ())
     (fun () ->
       try
         let rec loop () =
@@ -1375,7 +1380,11 @@ let request_stop l =
 
 let await l =
   (match l.l_accept with
-  | Some th -> ( try Thread.join th with _ -> ())
+  (* best-effort join during shutdown: the accept loop already saw the
+     self-pipe wakeup and is exiting; a [Sys_error] from systhreads'
+     join machinery must not abort the drain of live connections below.
+     Other exceptions propagate — stop() must not mask real failures. *)
+  | Some th -> ( try Thread.join th with Sys_error _ -> ())
   | None -> ());
   Mutex.lock l.l_mu;
   let first = not l.l_cleaned in

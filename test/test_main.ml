@@ -15,4 +15,5 @@ let () =
       ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
+      ("lint", Test_lint.suite);
     ]
