@@ -30,7 +30,7 @@ let get_circuit name n =
       | e -> Some (Lazy.force e.Iwls.circuit)
       | exception Not_found -> None)
 
-let run list_them name n level_str show_theorem verify deadline =
+let run list_them name n level_str show_theorem verify deadline cert_file =
   if list_them then begin
     Printf.printf "built-in circuits:\n";
     Printf.printf "  fig2        the paper's Figure-2 example, RT level (-n = width)\n";
@@ -73,8 +73,11 @@ let run list_them name n level_str show_theorem verify deadline =
               (List.length cut.Cut.boundary)
               (List.length cut.Cut.passthrough);
             let t0 = Unix.gettimeofday () in
+            if cert_file <> None then Logic.Kernel.start_recording ();
             match Hash.Synthesis.retime level c cut with
             | exception Hash.Errors.Cut_mismatch msg ->
+                if cert_file <> None then
+                  ignore (Logic.Kernel.stop_recording ());
                 Printf.eprintf "cut mismatch: %s\n" msg;
                 1
             | step ->
@@ -91,6 +94,30 @@ let run list_them name n level_str show_theorem verify deadline =
                 if show_theorem then
                   Format.printf "@.%s@."
                     (Logic.Kernel.string_of_thm step.Hash.Synthesis.theorem);
+                (match cert_file with
+                | None -> ()
+                | Some file -> (
+                    match Logic.Kernel.stop_recording () with
+                    | Error msg ->
+                        Printf.eprintf "certificate recording failed: %s\n"
+                          msg;
+                        exit 1
+                    | Ok tr -> (
+                        match Cert.emit tr step.Hash.Synthesis.theorem with
+                        | Error msg ->
+                            Printf.eprintf
+                              "certificate emission failed: %s\n" msg;
+                            exit 1
+                        | Ok text ->
+                            let oc = open_out_bin file in
+                            output_string oc text;
+                            close_out oc;
+                            Format.printf
+                              "certificate: %s (%d inference steps, %d \
+                               bytes)@."
+                              file
+                              (Logic.Kernel.Trace.length tr)
+                              (String.length text))));
                 (match verify with
                 | None -> ()
                 | Some engine ->
@@ -166,12 +193,22 @@ let cmd =
       & info [ "deadline" ] ~docv:"SECONDS"
           ~doc:"Budget for the verification baseline.")
   in
+  let cert_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ] ~docv:"FILE"
+          ~doc:
+            "Record the synthesis proof and write an exportable \
+             certificate to $(docv), replayable by check.exe.")
+  in
   let doc =
     "proof-producing retiming in the HASH formal synthesis system"
   in
   Cmd.v
     (Cmd.info "hash_retime" ~doc)
     Term.(
-      const run $ list_them $ circ_arg $ n $ level $ show $ verify $ deadline)
+      const run $ list_them $ circ_arg $ n $ level $ show $ verify $ deadline
+      $ cert_file)
 
 let () = exit (Cmd.eval' cmd)

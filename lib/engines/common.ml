@@ -11,9 +11,9 @@ type budget = {
 }
 
 let budget_of_seconds ?(max_bdd_nodes = 20_000_000) secs =
-  { deadline = Unix.gettimeofday () +. secs; max_bdd_nodes; bdd_base = 0 }
+  { deadline = Logic.Clock.now () +. secs; max_bdd_nodes; bdd_base = 0 }
 
-let out_of_time b = Unix.gettimeofday () > b.deadline
+let out_of_time b = Logic.Clock.now () > b.deadline
 
 exception Out_of_budget
 exception Unsupported of string

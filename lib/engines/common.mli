@@ -9,7 +9,7 @@ type result =
   | Timeout
 
 type budget = {
-  deadline : float;  (** absolute [Unix.gettimeofday] time *)
+  deadline : float;  (** absolute monotonic time ([Logic.Clock.now]) *)
   max_bdd_nodes : int;
       (** abort when a manager allocates this many nodes past
           [bdd_base] *)

@@ -479,3 +479,21 @@ let eval_rewrites =
 
 (* Partial application: the normalisation memo persists across calls. *)
 let bool_eval_conv = Conv.memo_top_depth_conv (Conv.rewrs_conv eval_rewrites)
+
+(* Publish the derived theorems proof recording may meet as inputs
+   (everything above was proved at module init, before any trace can
+   start), under stable names an independent checker re-derives and
+   verifies.  The COND clauses are axioms and resolve as such. *)
+let () =
+  let reg prefix ths =
+    List.iteri
+      (fun i th ->
+        Kernel.register_theorem (Printf.sprintf "%s.%d" prefix i) th)
+      ths
+  in
+  Kernel.register_theorem "Boolean.truth" truth;
+  reg "Boolean.and_clauses" and_clauses;
+  reg "Boolean.or_clauses" or_clauses;
+  reg "Boolean.eq_bool_clauses" eq_bool_clauses;
+  reg "Boolean.not_clauses" not_clauses;
+  reg "Boolean.xor_clauses" xor_clauses

@@ -1,0 +1,8 @@
+external monotonic_seconds : unit -> float = "hash_clock_monotonic_seconds"
+
+(* The active source lives in an Atomic so tests can inject a fake
+   clock (epoch-jump simulations) without racing concurrent readers. *)
+let source : (unit -> float) Atomic.t = Atomic.make monotonic_seconds
+let now () = (Atomic.get source) ()
+let set_source f = Atomic.set source f
+let use_monotonic () = Atomic.set source monotonic_seconds

@@ -1,0 +1,18 @@
+/* Monotonic time for deadline arithmetic: CLOCK_MONOTONIC is immune to
+   NTP steps and manual clock changes, unlike gettimeofday.  Seconds as
+   a double keeps the call interchangeable with Unix.gettimeofday at
+   every deadline site. */
+
+#include <time.h>
+
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value hash_clock_monotonic_seconds(value unit)
+{
+    CAMLparam1(unit);
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    CAMLreturn(caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9));
+}

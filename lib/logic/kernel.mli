@@ -44,6 +44,14 @@ val mk_const_at : string -> Ty.t -> Term.t
 (** [mk_const_at name ty] builds the constant at the concrete type [ty],
     checking that [ty] is an instance of the generic type. *)
 
+val types : unit -> (string * int) list
+(** Every declared type operator with its arity, sorted by name — the
+    deterministic signature listing certificate headers are built
+    from. *)
+
+val constants : unit -> (string * Ty.t) list
+(** Every declared constant with its generic type, sorted by name. *)
+
 (** {1 Primitive inference rules} *)
 
 val refl : Term.t -> thm
@@ -96,10 +104,82 @@ val new_axiom : string -> Term.t -> thm
     theory keeps this list small and documented. *)
 
 val axioms : unit -> (string * thm) list
-(** Every axiom registered so far, most recent first. *)
+(** Every axiom registered so far, in insertion order (deterministic:
+    certificate headers depend on it).  Thread-safe. *)
 
 val definitions : unit -> (string * thm) list
-(** Every definitional theorem created so far, most recent first. *)
+(** Every definitional theorem created so far, in insertion order.
+    Thread-safe. *)
+
+val register_theorem : string -> thm -> unit
+(** [register_theorem name th] publishes a theorem {e derived} during
+    theory-module initialisation (e.g. the Boolean evaluation clauses,
+    [RETIMING_THM]) under a stable name, so proof recording can refer to
+    it by name instead of tracing its (module-init-time) derivation.
+    An independent checker resolves the name against the same theory
+    modules — re-deriving the theorem through its own kernel — and
+    verifies the sequent matches, so no trust is extended.
+    @raise Failure if [name] is already registered. *)
+
+val registered_theorems : unit -> (string * thm) list
+(** Every registered theorem, in insertion order.  Thread-safe. *)
+
+(** {1 Proof recording}
+
+    While recording is on (per-domain), every primitive inference
+    appends one event to an append-only trace; theorems carry the index
+    of the event that proved them.  Inputs proved before recording
+    started are resolved by name against the theory registries
+    (axioms, definitions, registered theorems); an input that cannot be
+    resolved {e poisons} the trace — the proof itself is unaffected,
+    but {!stop_recording} returns [Error] instead of a trace, so a
+    certificate can never silently omit a step. *)
+
+module Trace : sig
+  type event =
+    | Refl of Term.t
+    | Trans of int * int
+    | Mk_comb of int * int
+    | Abs of Term.t * int
+    | Beta of Term.t
+    | Assume of Term.t
+    | Eq_mp of int * int
+    | Deduct of int * int
+    | Inst of (Term.t * Term.t) list * int
+    | Inst_type of (string * Ty.t) list * int
+    | Axiom_ref of string  (** named axiom of the ambient theory *)
+    | Def_ref of string  (** definitional theorem, by constant name *)
+    | Import of string  (** theorem registered via [register_theorem] *)
+
+  type t
+  (** A completed trace.  Stored packed (struct of arrays) so that the
+      int-operand events that dominate synthesis proofs record without
+      allocating; {!event} materialises the variant view on demand. *)
+
+  val epoch : t -> int
+  val length : t -> int
+
+  val event : t -> int -> event
+  (** [event tr k] is step [k], [0 <= k < length tr].  Undefined
+      outside that range. *)
+end
+
+val start_recording : unit -> unit
+(** Begin recording on the calling domain.  Invalidates the domain's
+    memo tables first (a memoised theorem from before the trace began
+    would be an unresolvable input).
+    @raise Failure if already recording. *)
+
+val recording : unit -> bool
+
+val stop_recording : unit -> (Trace.t, string) result
+(** Stop recording and return the trace, or [Error msg] if the trace
+    was poisoned by an unresolvable input.
+    @raise Failure if not recording. *)
+
+val step_in : Trace.t -> thm -> int option
+(** The index of the event that proved [th] within [tr], if [th] was
+    recorded in that trace. *)
 
 val rule_count : unit -> int
 (** Number of primitive rule applications performed so far {e in the

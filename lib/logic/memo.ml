@@ -39,6 +39,19 @@ let c_key =
 
 let counters () = Domain.DLS.get c_key
 
+(* Every table created on a domain registers an invalidator closure in
+   that domain's DLS list, so the kernel can drop all memoised theorems
+   at [Kernel.start_recording] (a memo hit would otherwise hand back a
+   theorem proved before the trace began — an unresolvable input).
+   Invalidation reuses the generation-bump mechanism, so it must only be
+   requested between top-level calls of the memoised functions, like
+   [new_call]. *)
+let inv_key : (unit -> unit) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let invalidate_domain () =
+  List.iter (fun f -> f ()) !(Domain.DLS.get inv_key)
+
 let hash_key k =
   let h = k * 0x9e3779b9 in
   let h = (h lxor (h lsr 16)) * 0x85ebca6b in
@@ -46,16 +59,25 @@ let hash_key k =
 
 let create ?(bits = 10) ?(cap = 2_000_000) () =
   let size = 1 lsl bits in
-  {
-    keys = Array.make size (-1);
-    gens = Array.make size 0;
-    vals = Array.make size None;
-    mask = size - 1;
-    live = 0;
-    occupied = 0;
-    gen = 0;
-    cap;
-  }
+  let t =
+    {
+      keys = Array.make size (-1);
+      gens = Array.make size 0;
+      vals = Array.make size None;
+      mask = size - 1;
+      live = 0;
+      occupied = 0;
+      gen = 0;
+      cap;
+    }
+  in
+  let invs = Domain.DLS.get inv_key in
+  invs :=
+    (fun () ->
+      t.gen <- t.gen + 1;
+      t.live <- 0)
+    :: !invs;
+  t
 
 let new_call t =
   if t.live > t.cap then begin

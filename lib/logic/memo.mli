@@ -26,6 +26,13 @@ val find : 'a t -> int -> 'a option
 
 val add : 'a t -> int -> 'a -> unit
 
+val invalidate_domain : unit -> unit
+(** Invalidate (generation-bump) every memo table ever created on the
+    calling domain.  Used by [Kernel.start_recording] so that no theorem
+    memoised before the trace began can leak into a recorded proof as an
+    unresolvable input.  Like {!new_call}, only sound between top-level
+    calls of the memoised functions. *)
+
 val stats : unit -> int * int
 (** [(hits, misses)] accumulated across every memo table of the {e
     current domain} since its start. *)

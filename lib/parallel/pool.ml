@@ -36,7 +36,7 @@ type 'a future = {
   f_mu : Mutex.t;
   f_cv : Condition.t;
   mutable status : 'a status;
-  deadline : float option; (* absolute Unix.gettimeofday time *)
+  deadline : float option; (* absolute monotonic time (Logic.Clock.now) *)
 }
 
 type job = Job : 'a future -> job
@@ -71,7 +71,7 @@ let deadline () = !(Domain.DLS.get ctx_key)
 
 let check () =
   match deadline () with
-  | Some d when Unix.gettimeofday () > d -> raise Cancelled
+  | Some d when Logic.Clock.now () > d -> raise Cancelled
   | _ -> ()
 
 let with_ctx dl thunk =
@@ -85,7 +85,7 @@ let with_ctx dl thunk =
 (* ------------------------------------------------------------------ *)
 
 let expired = function
-  | Some d -> Unix.gettimeofday () > d
+  | Some d -> Logic.Clock.now () > d
   | None -> false
 
 let run_job (type a) (fut : a future) =

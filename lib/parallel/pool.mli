@@ -55,8 +55,10 @@ val size : t -> int
 (** The configured number of jobs (1 = inline/sequential). *)
 
 val submit : ?deadline:float -> t -> (unit -> 'a) -> 'a future
-(** Enqueue a thunk; [deadline] is an absolute [Unix.gettimeofday] time.
-    On an inline pool the thunk runs before [submit] returns.
+(** Enqueue a thunk; [deadline] is an absolute {!Logic.Clock.now} time
+    (monotonic — immune to wall-clock steps; compute it as
+    [Logic.Clock.now () +. budget_s]).  On an inline pool the thunk
+    runs before [submit] returns.
     @raise Shutdown if the pool has been shut down. *)
 
 val await : 'a future -> 'a

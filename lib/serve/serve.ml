@@ -116,6 +116,7 @@ type error_code =
   | Unsupported
   | Interface_mismatch
   | Deadline_exceeded
+  | Cert_unavailable
   | Shutdown
   | Internal
 
@@ -129,6 +130,7 @@ let code_string = function
   | Unsupported -> "unsupported"
   | Interface_mismatch -> "interface_mismatch"
   | Deadline_exceeded -> "deadline_exceeded"
+  | Cert_unavailable -> "cert_unavailable"
   | Shutdown -> "shutdown"
   | Internal -> "internal"
 
@@ -162,6 +164,12 @@ type request = {
          response — the proof still ran (or was found cached); fleet
          drivers that only want status/stats/digest skip paying the
          multi-KB proof echo per circuit *)
+  cert : bool;
+      (* [true] records the kernel derivation and attaches a replayable
+         proof certificate to the ok response.  Only a proof run by this
+         request can be certified: a cache hit answers with the typed
+         [Cert_unavailable] error instead of fabricating a certificate
+         the server never recorded. *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -310,14 +318,32 @@ let parse_request t json : (request, string) result =
             | Some (Bool b) -> Ok b
             | Some _ -> Error "bad field: echo (expected a boolean)"
           in
-          match (level_r, cut_r, deadline_r, echo_r) with
-          | Ok level, Ok cut, Ok dl, Ok echo ->
+          let cert_r =
+            match member "cert" json with
+            | None -> Ok false
+            | Some (Bool b) -> Ok b
+            | Some _ -> Error "bad field: cert (expected a boolean)"
+          in
+          match (level_r, cut_r, deadline_r, echo_r, cert_r) with
+          | Ok level, Ok cut, Ok dl, Ok echo, Ok cert ->
               if not (dl > 0.0) then
                 Error "bad field: deadline_s (must be positive)"
               else
-                Ok { id; blif; level; cut; deadline_s = min dl 3600.0; echo }
-          | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
-          | _, _, _, Error e ->
+                Ok
+                  {
+                    id;
+                    blif;
+                    level;
+                    cut;
+                    deadline_s = min dl 3600.0;
+                    echo;
+                    cert;
+                  }
+          | Error e, _, _, _, _
+          | _, Error e, _, _, _
+          | _, _, Error e, _, _
+          | _, _, _, Error e, _
+          | _, _, _, _, Error e ->
               Error e)
       | Some _ -> Error "bad field: blif (expected a string)")
   | _ -> Error "request is not a JSON object"
@@ -344,6 +370,7 @@ type response =
       ok_hit : bool;
       ok_cacheable : bool;
       ok_digest : string option;  (* hex — needs no JSON escaping *)
+      ok_cert : string option;  (* recorded proof certificate text *)
       ok_snap : Obs.Cache.snapshot;
       ok_wall : float;
     }
@@ -415,7 +442,8 @@ let render_entry_fields ~blif ~theorem ~gates ~ffs =
   ( String.sub s 1 (String.length s - 2),
     String.sub t 1 (String.length t - 2) )
 
-let ok_response t ~id ~echo ~hit ~cacheable ~digest ~(e : entry) ~wall_s =
+let ok_response t ~id ~echo ~hit ~cacheable ~digest ?cert ~(e : entry) ~wall_s
+    () =
   (* The counter snapshot is taken here, lock-free, after this
      request's own bumps landed — rendering never touches a shard
      mutex, and the response sees one consistent aggregate. *)
@@ -427,6 +455,7 @@ let ok_response t ~id ~echo ~hit ~cacheable ~digest ~(e : entry) ~wall_s =
       ok_hit = hit;
       ok_cacheable = cacheable;
       ok_digest = digest;
+      ok_cert = cert;
       ok_snap = counters_total t;
       ok_wall = wall_s;
     }
@@ -440,8 +469,17 @@ let response_pieces r (f : string -> unit) =
   match r with
   | Rendered s -> f s
   | Ok_body
-      { ok_id; ok_e; ok_echo; ok_hit; ok_cacheable; ok_digest; ok_snap; ok_wall }
-    ->
+      {
+        ok_id;
+        ok_e;
+        ok_echo;
+        ok_hit;
+        ok_cacheable;
+        ok_digest;
+        ok_cert;
+        ok_snap;
+        ok_wall;
+      } ->
       let b tag = f (if tag then "true" else "false") in
       let i n = f (string_of_int n) in
       f "{";
@@ -453,6 +491,13 @@ let response_pieces r (f : string -> unit) =
       | None -> ());
       f "\"status\":\"ok\",";
       if ok_echo then f ok_e.e_fields else f ok_e.e_terse;
+      (match ok_cert with
+      | Some cert ->
+          (* cold path only (a fresh proof with recording on): the
+             escape cost is dwarfed by the synthesis it certifies *)
+          f ",\"cert\":";
+          f (Obs.Json.to_string (Obs.Json.Str cert))
+      | None -> ());
       f ",\"cache\":{\"hit\":";
       b ok_hit;
       f ",\"cacheable\":";
@@ -516,7 +561,36 @@ let run_and_respond t (req : request) circuit keyfp ~deadline ~t0 =
     let budget =
       { Engines.Common.deadline; max_bdd_nodes = 20_000_000; bdd_base = 0 }
     in
-    let step = Hash.Synthesis.retime ~budget req.level circuit cut in
+    let step, cert =
+      if not req.cert then
+        (Hash.Synthesis.retime ~budget req.level circuit cut, None)
+      else begin
+        (* Recording is per-domain, and this thunk owns its worker
+           domain (inline pools serialize execution), so the trace
+           captures exactly this request's derivation.  A poisoned
+           trace or failed emission blames this repository, not the
+           request: Kernel_invariant. *)
+        Logic.Kernel.start_recording ();
+        let step =
+          try Hash.Synthesis.retime ~budget req.level circuit cut
+          with e ->
+            ignore (Logic.Kernel.stop_recording ());
+            raise e
+        in
+        match Logic.Kernel.stop_recording () with
+        | Error msg ->
+            raise
+              (Hash.Errors.Kernel_invariant
+                 ("certificate recording poisoned: " ^ msg))
+        | Ok tr -> (
+            match Cert.emit tr step.Hash.Synthesis.theorem with
+            | Ok c -> (step, Some c)
+            | Error msg ->
+                raise
+                  (Hash.Errors.Kernel_invariant
+                     ("certificate emission failed: " ^ msg)))
+      end
+    in
     let blif = Blif.to_string step.Hash.Synthesis.after in
     let theorem = Logic.Kernel.string_of_thm step.Hash.Synthesis.theorem in
     let gates =
@@ -552,11 +626,14 @@ let run_and_respond t (req : request) circuit keyfp ~deadline ~t0 =
         remember_text t tkey (Fingerprint.digest fp) e;
         ok_response t ~id:req.id ~echo:req.echo ~hit:false ~cacheable:true
           ~digest:(Some (Fingerprint.digest fp))
-          ~e
+          ?cert ~e
           ~wall_s:(Unix.gettimeofday () -. t0)
+          ()
     | None ->
-        ok_response t ~id:req.id ~echo:req.echo ~hit:false ~cacheable:false ~digest:None ~e
+        ok_response t ~id:req.id ~echo:req.echo ~hit:false ~cacheable:false
+          ~digest:None ?cert ~e
           ~wall_s:(Unix.gettimeofday () -. t0)
+          ()
   with e ->
     let code, msg = error_of_exn e in
     error_response ?id:req.id code msg
@@ -574,9 +651,13 @@ type pending =
    parse, validation and the cache lookup.  A hit (or any trust-boundary
    rejection) is answered without touching the pool; only kernel work is
    dispatched. *)
-let submit_request t ~t0 (req : request) =
+let submit_request t ~t0 ~t0m (req : request) =
   (
-      let deadline = t0 +. req.deadline_s in
+      (* Deadlines are monotonic arithmetic: [t0m] came from
+         {!Logic.Clock.now}, so a wall-clock step (NTP, manual reset)
+         cannot expire — or resurrect — an in-flight request.  [t0]
+         stays wall-clock and is only ever reported, never compared. *)
+      let deadline = t0m +. req.deadline_s in
       match
         match req.cut with
         | Gates _ ->
@@ -608,9 +689,15 @@ let submit_request t ~t0 (req : request) =
             match text_hit with
             | Some (digest, e) ->
                 `Hit
-                  (ok_response t ~id:req.id ~echo:req.echo ~hit:true ~cacheable:true
-                     ~digest:(Some digest) ~e
-                     ~wall_s:(Unix.gettimeofday () -. t0))
+                  (if req.cert then
+                     error_response ?id:req.id Cert_unavailable
+                       "result served from cache; no proof was replayed \
+                        for this request, so no certificate exists"
+                   else
+                     ok_response t ~id:req.id ~echo:req.echo ~hit:true
+                       ~cacheable:true ~digest:(Some digest) ~e
+                       ~wall_s:(Unix.gettimeofday () -. t0)
+                       ())
             | None -> (
                 let circuit = Blif.of_string req.blif in
                 let fp = Fingerprint.of_circuit circuit in
@@ -635,10 +722,18 @@ let submit_request t ~t0 (req : request) =
                        its own shard and locks never nest) *)
                     remember_text t tkey (Fingerprint.digest fp) e;
                     `Hit
-                      (ok_response t ~id:req.id ~echo:req.echo ~hit:true ~cacheable:true
-                         ~digest:(Some (Fingerprint.digest fp))
-                         ~e
-                         ~wall_s:(Unix.gettimeofday () -. t0))
+                      (if req.cert then
+                         error_response ?id:req.id Cert_unavailable
+                           "result served from cache; no proof was \
+                            replayed for this request, so no \
+                            certificate exists"
+                       else
+                         ok_response t ~id:req.id ~echo:req.echo ~hit:true
+                           ~cacheable:true
+                           ~digest:(Some (Fingerprint.digest fp))
+                           ~e
+                           ~wall_s:(Unix.gettimeofday () -. t0)
+                           ())
                 | None ->
                     `Run
                       (fun () ->
@@ -658,12 +753,12 @@ let submit_request t ~t0 (req : request) =
           let code, msg = error_of_exn e in
           Immediate (error_response ?id:req.id code msg))
 
-let submit_json t ~t0 json =
+let submit_json t ~t0 ~t0m json =
   match parse_request t json with
   | Error msg ->
       Immediate
         (error_response ?id:(Obs.Json.member "id" json) Bad_request msg)
-  | Ok req -> submit_request t ~t0 req
+  | Ok req -> submit_request t ~t0 ~t0m req
 
 (* A {"batch": [...]} line amortizes per-line protocol overhead for
    fleets of small circuits: one read, one parse, one response write —
@@ -1034,13 +1129,13 @@ let scan_line t line : scanned_line option =
   in
   match top () with v -> Some v | exception Slow -> None
 
-let submit_line_slow t ~t0 line =
+let submit_line_slow t ~t0 ~t0m line =
   match Obs.Json.parse line with
   | exception Obs.Json.Parse_error msg ->
       Immediate (error_response Bad_request msg)
   | json -> (
       match Obs.Json.member "batch" json with
-      | None -> submit_json t ~t0 json
+      | None -> submit_json t ~t0 ~t0m json
       | Some (Obs.Json.List items) ->
           if List.length items > max_batch then
             Immediate
@@ -1058,7 +1153,7 @@ let submit_line_slow t ~t0 line =
                          (error_response
                             ?id:(Obs.Json.member "id" item)
                             Bad_request "batches do not nest")
-                   | None -> submit_json t ~t0 item)
+                   | None -> submit_json t ~t0 ~t0m item)
                  items)
       | Some _ ->
           Immediate
@@ -1070,7 +1165,7 @@ let submit_line_slow t ~t0 line =
    key the scanner already built; on a miss, slice the BLIF back out of
    the key and take the ordinary [submit_request] road (whose own L1
    probe misses again without bumping any counter). *)
-let submit_scanned t ~t0 (sq : scanned_req) =
+let submit_scanned t ~t0 ~t0m (sq : scanned_req) =
   let tsh = shard_for t sq.sq_tkey in
   let text_hit =
     locked tsh (fun () ->
@@ -1085,13 +1180,14 @@ let submit_scanned t ~t0 (sq : scanned_req) =
       Immediate
         (ok_response t ~id:sq.sq_id ~echo:sq.sq_echo ~hit:true ~cacheable:true
            ~digest:(Some digest) ~e
-           ~wall_s:(Unix.gettimeofday () -. t0))
+           ~wall_s:(Unix.gettimeofday () -. t0)
+           ())
   | None ->
       let blif =
         String.sub sq.sq_tkey (sq.sq_taglen + 1)
           (String.length sq.sq_tkey - sq.sq_taglen - 1)
       in
-      submit_request t ~t0
+      submit_request t ~t0 ~t0m
         {
           id = sq.sq_id;
           blif;
@@ -1099,14 +1195,20 @@ let submit_scanned t ~t0 (sq : scanned_req) =
           cut = Maximal;
           deadline_s = Stdlib.min t.default_deadline_s 3600.0;
           echo = sq.sq_echo;
+          (* the scanner bails to the slow parser on any unknown
+             member, so a request carrying "cert" never reaches the
+             scanned fast lane *)
+          cert = false;
         }
 
 let submit_line t line =
   let t0 = Unix.gettimeofday () in
+  let t0m = Logic.Clock.now () in
   match scan_line t line with
-  | Some (Scanned_one sq) -> submit_scanned t ~t0 sq
-  | Some (Scanned_batch sqs) -> Batch (List.map (submit_scanned t ~t0) sqs)
-  | None -> submit_line_slow t ~t0 line
+  | Some (Scanned_one sq) -> submit_scanned t ~t0 ~t0m sq
+  | Some (Scanned_batch sqs) ->
+      Batch (List.map (submit_scanned t ~t0 ~t0m) sqs)
+  | None -> submit_line_slow t ~t0 ~t0m line
 
 let await_queued id fut =
   match Parallel.Pool.await fut with

@@ -12,7 +12,19 @@
     ["echo"] (boolean, default [true]; [false] elides the ["blif"] and
     ["theorem"] members from a success response — on small circuits the
     echo dominates the response bytes, and a duplicate-heavy client
-    already has the text it sent).
+    already has the text it sent), and ["cert"] (boolean, default
+    [false]; [true] records the synthesis proof and attaches an
+    exportable certificate).
+
+    With ["cert": true] a successful response additionally carries a
+    ["cert"] member: the full proof certificate text ([Cert] format),
+    replayable by [bin/check.exe] in a separate process.  Certificates
+    are only produced by an actual kernel run: if the request is
+    answered from the proof cache no proof was replayed, and rather
+    than fabricate evidence the server answers an error with code
+    ["cert_unavailable"] (retry against a cold cache, or via a
+    gate-list cut, to force a run).  Certificate requests always take
+    the slow parse path and are never served by the scanned fast lane.
 
     A successful response carries [status = "ok"], the retimed netlist
     as BLIF text (["blif"]), the kernel theorem (["theorem"]),
@@ -158,6 +170,10 @@ type error_code =
   | Unsupported
   | Interface_mismatch
   | Deadline_exceeded
+  | Cert_unavailable
+      (** ["cert": true] on a request answered from the proof cache:
+          no proof was replayed, so no certificate can honestly be
+          produced. *)
   | Shutdown
   | Internal
 

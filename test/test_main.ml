@@ -15,5 +15,6 @@ let () =
       ("faults", Test_faults.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
+      ("cert", Test_cert.suite);
       ("lint", Test_lint.suite);
     ]

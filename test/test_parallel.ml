@@ -48,7 +48,7 @@ let test_deadline_expired_in_queue () =
       let ran = Atomic.make false in
       let fut =
         Parallel.Pool.submit
-          ~deadline:(Unix.gettimeofday () +. 0.05)
+          ~deadline:(Logic.Clock.now () +. 0.05)
           pool
           (fun () -> Atomic.set ran true)
       in
@@ -66,7 +66,7 @@ let test_deadline_check_while_running () =
       let polls = ref 0 in
       let fut =
         Parallel.Pool.submit
-          ~deadline:(Unix.gettimeofday () +. 0.05)
+          ~deadline:(Logic.Clock.now () +. 0.05)
           pool
           (fun () ->
             while true do
@@ -79,6 +79,35 @@ let test_deadline_check_while_running () =
       | () -> Alcotest.fail "expected cancellation"
       | exception Parallel.Pool.Cancelled -> ());
       check "task made progress before the deadline" true (!polls > 0))
+
+let test_deadline_injected_clock () =
+  (* Deadlines are judged against [Logic.Clock.now], not the wall clock:
+     with an injected source, expiry is driven purely by advancing the
+     fake time.  Real elapsed time while the clock is frozen must not
+     cancel anything; a simulated jump past the deadline must. *)
+  let fake = Atomic.make 1_000_000.0 in
+  Logic.Clock.set_source (fun () -> Atomic.get fake);
+  Fun.protect ~finally:Logic.Clock.use_monotonic @@ fun () ->
+  Parallel.Pool.run ~jobs:1 (fun pool ->
+      let deadline = Logic.Clock.now () +. 0.001 in
+      let fut =
+        Parallel.Pool.submit ~deadline pool (fun () ->
+            (* real milliseconds pass; fake time does not *)
+            Unix.sleepf 0.01;
+            Parallel.Pool.check ();
+            7)
+      in
+      check_int "frozen clock never expires a deadline" 7
+        (Parallel.Pool.await fut);
+      Atomic.set fake (deadline +. 1.0);
+      let ran = ref false in
+      let late =
+        Parallel.Pool.submit ~deadline pool (fun () -> ran := true)
+      in
+      (match Parallel.Pool.await late with
+      | () -> Alcotest.fail "expected cancellation after the clock jump"
+      | exception Parallel.Pool.Cancelled -> ());
+      check "expired task never ran" false !ran)
 
 let test_cancel_pending () =
   Parallel.Pool.run ~jobs:2 (fun pool ->
@@ -248,6 +277,8 @@ let suite =
       test_deadline_expired_in_queue;
     Alcotest.test_case "deadline check while running" `Quick
       test_deadline_check_while_running;
+    Alcotest.test_case "deadline against an injected clock" `Quick
+      test_deadline_injected_clock;
     Alcotest.test_case "cancel pending" `Quick test_cancel_pending;
     Alcotest.test_case "stress: verdicts match sequential" `Slow
       test_stress_verdicts_match_sequential;

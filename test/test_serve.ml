@@ -518,6 +518,46 @@ let test_bounded_connections () =
   Alcotest.(check string) "B's request ok" "ok" (status j);
   close_out_noerr oc_b
 
+(* --- proof certificates --------------------------------------------- *)
+
+let test_cert_request () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  let b = blif_of 2 in
+  let j =
+    parse (Serve.handle_line srv (request ~extra:[ ("cert", J.Bool true) ] 1 b))
+  in
+  Alcotest.(check string) "certified miss ok" "ok" (status j);
+  check "miss ran the proof" false (cache_bool "hit" j);
+  let text =
+    match J.member "cert" j with
+    | Some (J.Str s) -> s
+    | _ -> Alcotest.fail "ok response without a cert member"
+  in
+  (* the daemon's certificate must replay through the independent
+     checker path, not merely parse *)
+  (match Cert.check_string text with
+  | Ok (_, prims) -> check "replayed some inferences" true (prims > 0)
+  | Error rej -> Alcotest.fail ("daemon cert rejected: " ^ Cert.reject_to_string rej));
+  (* same circuit again: the cache answers, and a certificate cannot be
+     fabricated for a proof this request never ran — typed error *)
+  expect_error srv
+    (request ~extra:[ ("cert", J.Bool true) ] 2 b)
+    "cert_unavailable";
+  (* without cert:true the hit is served normally... *)
+  let j3 = parse (Serve.handle_line srv (request 3 b)) in
+  Alcotest.(check string) "plain hit ok" "ok" (status j3);
+  check "hit" true (cache_bool "hit" j3);
+  (* ...and ok responses only carry a cert when one was requested *)
+  check "no unsolicited cert member" true (J.member "cert" j3 = None)
+
+let test_cert_bad_field () =
+  let srv = mk_server () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown srv) @@ fun () ->
+  expect_error srv
+    (request ~extra:[ ("cert", J.Str "yes") ] 1 (blif_of 2))
+    "bad_request"
+
 let suite =
   [
     Alcotest.test_case "miss, text hit, fingerprint hit" `Quick
@@ -531,6 +571,10 @@ let suite =
     Alcotest.test_case "unmeetable deadline" `Quick test_tiny_deadline;
     Alcotest.test_case "shutdown rejects new work" `Quick
       test_shutdown_rejects;
+    Alcotest.test_case "certificate on miss, typed refusal on hit" `Quick
+      test_cert_request;
+    Alcotest.test_case "cert field must be a boolean" `Quick
+      test_cert_bad_field;
     Alcotest.test_case "serve_channel pipeline" `Quick test_serve_channel;
     Alcotest.test_case "batch order and isolation" `Quick
       test_batch_order_and_isolation;
